@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench figures cover fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One short benchmark pass over every suite (full runs: drop -benchtime).
+bench:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./...
+
+# Regenerate the paper's figures and the ablation tables.
+figures:
+	$(GO) run ./cmd/figures
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzEvalAny -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzCondLossProb -fuzztime 30s ./internal/core
+
+clean:
+	$(GO) clean ./...

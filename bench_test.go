@@ -1,0 +1,388 @@
+package rmcast
+
+// One benchmark per paper figure (DESIGN.md experiments E1–E4), plus the
+// ablation (E7) and the strategy-computation scaling probe (E5; the
+// fine-grained version lives in internal/core). Each benchmark iteration
+// executes one full simulation run of one figure cell and reports the
+// figure's metric via b.ReportMetric, so
+//
+//	go test -bench 'Figure5' -benchmem
+//
+// regenerates the latency column of Figure 5 cell by cell
+// (ms/recovery), and similarly for the other figures. cmd/figures prints
+// the same data as assembled tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"rmcast/internal/experiment"
+	"rmcast/internal/protocol"
+	"rmcast/internal/topology"
+)
+
+// benchPackets keeps each benchmark iteration around 100–500 ms; the
+// cmd/figures tool uses the paper-default 100 packets.
+const benchPackets = 40
+
+func benchCell(b *testing.B, spec experiment.RunSpec) {
+	b.Helper()
+	var lat, bw float64
+	var losses int64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lat = res.AvgLatency()
+		bw = res.BandwidthPerRecovery()
+		losses = res.Stats.Losses
+	}
+	b.ReportMetric(lat, "ms/recovery")
+	b.ReportMetric(bw, "hops/recovery")
+	b.ReportMetric(float64(losses), "losses")
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (recovery latency vs group size,
+// p=5%): read the ms/recovery metric per cell.
+func BenchmarkFigure5(b *testing.B) {
+	for _, size := range []int{50, 100, 200, 300, 400, 500, 600} {
+		for _, proto := range experiment.PaperProtocols {
+			b.Run(fmt.Sprintf("n=%d/%s", size, proto), func(b *testing.B) {
+				benchCell(b, experiment.RunSpec{
+					Routers: size, Loss: 0.05, Protocol: proto,
+					Packets: benchPackets, Interval: 50,
+					TopoSeed: 2003 + uint64(size), SimSeed: 1,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (recovery bandwidth vs group size,
+// p=5%): read the hops/recovery metric per cell. Same runs as Figure 5 —
+// the paper derives both figures from one experiment.
+func BenchmarkFigure6(b *testing.B) {
+	for _, size := range []int{50, 100, 200, 300, 400, 500, 600} {
+		for _, proto := range experiment.PaperProtocols {
+			b.Run(fmt.Sprintf("n=%d/%s", size, proto), func(b *testing.B) {
+				benchCell(b, experiment.RunSpec{
+					Routers: size, Loss: 0.05, Protocol: proto,
+					Packets: benchPackets, Interval: 50,
+					TopoSeed: 2003 + uint64(size), SimSeed: 1,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFigure7 regenerates Figure 7 (recovery latency vs per-link loss,
+// n=500): read ms/recovery per cell.
+func BenchmarkFigure7(b *testing.B) {
+	for _, pct := range []float64{2, 6, 10, 14, 20} {
+		for _, proto := range experiment.PaperProtocols {
+			b.Run(fmt.Sprintf("p=%g%%/%s", pct, proto), func(b *testing.B) {
+				benchCell(b, experiment.RunSpec{
+					Routers: 500, Loss: pct / 100, Protocol: proto,
+					Packets: benchPackets, Interval: 50,
+					TopoSeed: 2003, SimSeed: uint64(pct),
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (recovery bandwidth vs per-link
+// loss, n=500): read hops/recovery per cell. Same runs as Figure 7.
+func BenchmarkFigure8(b *testing.B) {
+	for _, pct := range []float64{2, 6, 10, 14, 20} {
+		for _, proto := range experiment.PaperProtocols {
+			b.Run(fmt.Sprintf("p=%g%%/%s", pct, proto), func(b *testing.B) {
+				benchCell(b, experiment.RunSpec{
+					Routers: 500, Loss: pct / 100, Protocol: proto,
+					Packets: benchPackets, Interval: 50,
+					TopoSeed: 2003, SimSeed: uint64(pct),
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkAblation compares the RP variants and the baselines RP
+// degenerates to (DESIGN.md experiment E7) at n=300.
+func BenchmarkAblation(b *testing.B) {
+	for _, pct := range []float64{5, 15} {
+		for _, proto := range experiment.AblationProtocols {
+			b.Run(fmt.Sprintf("p=%g%%/%s", pct, proto), func(b *testing.B) {
+				benchCell(b, experiment.RunSpec{
+					Routers: 300, Loss: pct / 100, Protocol: proto,
+					Packets: benchPackets, Interval: 50,
+					TopoSeed: 2003, SimSeed: uint64(pct),
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkStrategyComputation measures planning cost for every client of a
+// topology — the O(k·(N² + LCA)) pipeline behind Algorithm 1 (experiment
+// E5; per-N scaling is benchmarked in internal/core).
+func BenchmarkStrategyComputation(b *testing.B) {
+	for _, size := range []int{100, 300, 600} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			topo, err := NewTopology(DefaultTopologyConfig(size), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Strategies(topo, DefaultPlannerOptions()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator event throughput with
+// the cheapest protocol, as a substrate baseline.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	var events uint64
+	var elapsedRuns int
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Run(experiment.RunSpec{
+			Routers: 200, Loss: 0.05, Protocol: "SRC",
+			Packets: benchPackets, Interval: 50, TopoSeed: 5, SimSeed: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = res.Events
+		elapsedRuns++
+	}
+	b.ReportMetric(float64(events), "events/run")
+	_ = elapsedRuns
+}
+
+// BenchmarkTreeKinds compares the protocols over the two multicast-tree
+// constructions of internal/topology: the paper's uniform random spanning
+// tree versus a PIM-SM-style shortest-path source tree (§2.2 allows any
+// multicast routing protocol to supply the tree).
+func BenchmarkTreeKinds(b *testing.B) {
+	kinds := []struct {
+		name string
+		kind topology.TreeKind
+	}{
+		{"random-st", topology.RandomTree},
+		{"shortest-path", topology.ShortestPathTree},
+	}
+	for _, k := range kinds {
+		for _, proto := range experiment.PaperProtocols {
+			b.Run(fmt.Sprintf("%s/%s", k.name, proto), func(b *testing.B) {
+				benchCell(b, experiment.RunSpec{
+					Routers: 300, Loss: 0.05, Protocol: proto,
+					Packets: benchPackets, Interval: 50,
+					TopoSeed: 2003, SimSeed: 1, Tree: k.kind,
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkEstimationNoise measures RP's sensitivity to routing-estimate
+// error (§3.1 discusses estimation quality): the oracle versus the
+// link-state substrate at increasing HELLO measurement noise.
+func BenchmarkEstimationNoise(b *testing.B) {
+	cases := []struct {
+		name      string
+		linkState bool
+		noise     float64
+	}{
+		{"oracle", false, 0},
+		{"lsr-0%", true, 0},
+		{"lsr-10%", true, 0.10},
+		{"lsr-30%", true, 0.30},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			benchCell(b, experiment.RunSpec{
+				Routers: 300, Loss: 0.05, Protocol: "RP",
+				Packets: benchPackets, Interval: 50,
+				TopoSeed: 2003, SimSeed: 1,
+				LinkState: c.linkState, RouteNoise: c.noise,
+			})
+		})
+	}
+}
+
+// BenchmarkDetectionModes compares idealised loss detection against
+// realistic sequence-gap detection (protocol.DetectGap) for RP.
+func BenchmarkDetectionModes(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		mode protocol.DetectionMode
+	}{
+		{"ideal", protocol.DetectIdeal},
+		{"gap", protocol.DetectGap},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			topo, err := topology.Standard(300, 0.05, 2003)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := experiment.NewEngine("RP")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lat float64
+			for i := 0; i < b.N; i++ {
+				topo2, _ := topology.Standard(300, 0.05, 2003)
+				eng2, _ := experiment.NewEngine("RP")
+				s, err := protocol.NewSession(topo2, eng2, protocol.Config{
+					Packets: benchPackets, Interval: 50, Detection: mode.mode,
+				}, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := s.Run()
+				lat = res.AvgLatency()
+			}
+			_, _ = topo, eng
+			b.ReportMetric(lat, "ms/recovery")
+		})
+	}
+}
+
+// BenchmarkCongestion enables the store-and-forward congestion model the
+// paper's own simulator lacks (§5.1 admits the omission "will favor
+// protocols that generate more data"): per-link service time makes SRM's
+// whole-tree floods pay for themselves in queueing delay.
+func BenchmarkCongestion(b *testing.B) {
+	for _, pt := range []float64{0, 0.25} {
+		for _, proto := range experiment.PaperProtocols {
+			name := fmt.Sprintf("service=%.2fms/%s", pt, proto)
+			b.Run(name, func(b *testing.B) {
+				var lat, bw float64
+				for i := 0; i < b.N; i++ {
+					topo, err := topology.Standard(200, 0.05, 2003)
+					if err != nil {
+						b.Fatal(err)
+					}
+					eng, err := experiment.NewEngine(proto)
+					if err != nil {
+						b.Fatal(err)
+					}
+					s, err := protocol.NewSession(topo, eng, protocol.Config{
+						Packets: benchPackets, Interval: 50,
+						PacketTime: pt,
+						// Congestion delays data too: give the idealised
+						// detector headroom so late data is not declared
+						// lost en masse.
+						DetectLag: 20 * pt,
+					}, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res := s.Run()
+					if !res.Complete {
+						b.Fatal("incomplete congestion run")
+					}
+					lat = res.AvgLatency()
+					bw = res.BandwidthPerRecovery()
+				}
+				b.ReportMetric(lat, "ms/recovery")
+				b.ReportMetric(bw, "hops/recovery")
+			})
+		}
+	}
+}
+
+// BenchmarkMembershipChurn measures incremental strategy maintenance under
+// join/leave churn versus full recomputation (internal/core.Roster).
+func BenchmarkMembershipChurn(b *testing.B) {
+	topo, err := NewTopology(DefaultTopologyConfig(300), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("incremental", func(b *testing.B) {
+		r, err := NewRoster(topo, DefaultPlannerOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients := topo.Clients
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v := clients[i%len(clients)]
+			if r.Active(v) {
+				if _, err := r.Leave(v); err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if _, err := r.Join(v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Strategies(topo, DefaultPlannerOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTopologyFamilies compares the protocols across the three
+// standard topology families of the multicast-simulation literature: flat
+// random (the paper's), Waxman, and GT-ITM transit-stub. Orderings should
+// be family-invariant.
+func BenchmarkTopologyFamilies(b *testing.B) {
+	build := func(family string) *Topology {
+		cfg := DefaultTopologyConfig(132)
+		switch family {
+		case "random":
+			t, err := NewTopology(cfg, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		case "waxman":
+			cfg.Model = topology.Waxman
+			t, err := NewTopology(cfg, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		case "transit-stub":
+			t, err := NewTransitStubTopology(cfg, TransitStubParams{}, 9)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return t
+		}
+		b.Fatalf("unknown family %q", family)
+		return nil
+	}
+	for _, family := range []string{"random", "waxman", "transit-stub"} {
+		for _, proto := range experiment.PaperProtocols {
+			b.Run(fmt.Sprintf("%s/%s", family, proto), func(b *testing.B) {
+				var lat float64
+				for i := 0; i < b.N; i++ {
+					topo := build(family)
+					res, err := Simulate(topo, proto, SessionConfig{
+						Packets: benchPackets, Interval: 50,
+					}, 11)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Stats.Unrecovered > 0 {
+						b.Fatal("unrecovered")
+					}
+					lat = res.AvgLatency()
+				}
+				b.ReportMetric(lat, "ms/recovery")
+			})
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Command rmsim runs one reliable-multicast recovery simulation and prints
+// the per-protocol metrics, exactly as the experiment harness measures them
+// for the paper's figures.
+//
+// Usage:
+//
+//	rmsim -routers 500 -loss 0.05 -protocol RP
+//	rmsim -routers 200 -loss 0.10 -protocol all -packets 200
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"rmcast/internal/experiment"
+	"rmcast/internal/protocol"
+	"rmcast/internal/topology"
+	"rmcast/internal/trace"
+)
+
+func main() {
+	var (
+		routers  = flag.Int("routers", 200, "backbone router count m")
+		loss     = flag.Float64("loss", 0.05, "per-link loss probability")
+		proto    = flag.String("protocol", "RP", "protocol name or 'all' (see rmsim -list)")
+		packets  = flag.Int("packets", 100, "data packets to multicast")
+		interval = flag.Float64("interval", 50, "inter-packet interval (ms)")
+		topoSeed = flag.Uint64("toposeed", 1, "topology seed")
+		simSeed  = flag.Uint64("seed", 1, "traffic/timer seed")
+		list     = flag.Bool("list", false, "list protocol names and exit")
+		traceOut = flag.String("trace", "", "write a structured event trace to this file ('-' for stderr)")
+		jitter   = flag.Float64("jitter", 0, "per-traversal delay jitter fraction")
+		gapDet   = flag.Bool("gapdetect", false, "use sequence-gap loss detection instead of the idealised model")
+		lossyRec = flag.Bool("lossyrecovery", false, "subject recovery traffic to link loss")
+		asJSON   = flag.Bool("json", false, "emit per-protocol results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range append(append([]string{}, experiment.PaperProtocols...), experiment.AblationProtocols...) {
+			fmt.Println(p)
+		}
+		return
+	}
+
+	protos := []string{*proto}
+	if *proto == "all" {
+		protos = experiment.PaperProtocols
+	}
+
+	var tracer trace.Tracer
+	if *traceOut != "" {
+		w := os.Stderr
+		if *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		tracer = trace.NewWriter(w)
+	}
+
+	type jsonRow struct {
+		Protocol   string  `json:"protocol"`
+		Clients    int     `json:"clients"`
+		Losses     int64   `json:"losses"`
+		Recovered  int64   `json:"recovered"`
+		LatencyMs  float64 `json:"latencyMs"`
+		P95Ms      float64 `json:"p95Ms"`
+		RepairHops float64 `json:"repairHopsPerRecovery"`
+		ReqHops    float64 `json:"requestHopsPerRecovery"`
+		Duplicates int64   `json:"duplicates"`
+		Events     uint64  `json:"events"`
+	}
+	var jsonRows []jsonRow
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "protocol\tclients\tlosses\trecovered\tlatency(ms)\tp95(ms)\trepair bw(hops)\treq bw(hops)\tdup\tevents")
+	for _, p := range protos {
+		topo, err := topology.Standard(*routers, *loss, *topoSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		eng, err := experiment.NewEngine(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		cfg := protocol.Config{
+			Packets: *packets, Interval: *interval,
+			Jitter: *jitter, LossyRecovery: *lossyRec,
+		}
+		if *gapDet {
+			cfg.Detection = protocol.DetectGap
+		}
+		sess, err := protocol.NewSession(topo, eng, cfg, *simSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		sess.Trace = tracer
+		res := sess.Run()
+		if res.Stats.Unrecovered > 0 || !res.Complete {
+			fmt.Fprintf(os.Stderr, "rmsim: %s left %d losses unrecovered (complete=%v)\n",
+				p, res.Stats.Unrecovered, res.Complete)
+			os.Exit(1)
+		}
+		if *asJSON {
+			jsonRows = append(jsonRows, jsonRow{
+				Protocol: p, Clients: res.Clients,
+				Losses: res.Stats.Losses, Recovered: res.Stats.Recoveries,
+				LatencyMs: res.AvgLatency(), P95Ms: res.LatencyQuantile(0.95),
+				RepairHops: res.BandwidthPerRecovery(),
+				ReqHops:    res.RequestHopsPerRecovery(),
+				Duplicates: res.Stats.Duplicates, Events: res.Events,
+			})
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.2f\t%.2f\t%.2f\t%.2f\t%d\t%d\n",
+			p, res.Clients, res.Stats.Losses, res.Stats.Recoveries,
+			res.AvgLatency(), res.LatencyQuantile(0.95), res.BandwidthPerRecovery(),
+			res.RequestHopsPerRecovery(), res.Stats.Duplicates, res.Events)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonRows); err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Churn demonstrates incremental strategy maintenance under group
+// membership changes (rmcast.Roster): when a member joins or leaves, only
+// the clients whose competitive-class winners change need replanning —
+// Lemma 4 guarantees nobody else's optimal list can be affected.
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rmcast"
+)
+
+func main() {
+	topo, err := rmcast.NewTopology(rmcast.DefaultTopologyConfig(300), 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	roster, err := rmcast.NewRoster(topo, rmcast.DefaultPlannerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := len(topo.Clients)
+	fmt.Printf("group of %d clients; initial planning = %d strategy computations\n\n",
+		k, roster.Recomputes())
+
+	// Churn: the first 20 clients leave one by one, then rejoin.
+	before := roster.Recomputes()
+	var leaveAffected, joinAffected int
+	for _, c := range topo.Clients[:20] {
+		aff, err := roster.Leave(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		leaveAffected += len(aff)
+	}
+	for _, c := range topo.Clients[:20] {
+		aff, err := roster.Join(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		joinAffected += len(aff)
+	}
+	incremental := roster.Recomputes() - before
+	naive := 40 * k // full recomputation per event
+
+	fmt.Printf("40 membership events (20 leaves + 20 joins):\n")
+	fmt.Printf("  peers invalidated by leaves:  %d\n", leaveAffected)
+	fmt.Printf("  peers invalidated by joins:   %d\n", joinAffected)
+	fmt.Printf("  incremental recomputations:   %d\n", incremental)
+	fmt.Printf("  naive full recomputations:    %d  (%.0f× more work)\n",
+		naive, float64(naive)/float64(incremental))
+
+	// The maintained strategies are exactly what a fresh planner computes.
+	fresh, err := rmcast.Strategies(topo, rmcast.DefaultPlannerOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for c, st := range fresh {
+		got := roster.Strategy(c)
+		if got == nil || got.ExpectedDelay != st.ExpectedDelay {
+			log.Fatalf("client %d: roster %v != fresh %v", c, got, st)
+		}
+	}
+	fmt.Println("\nroster state verified identical to a from-scratch recomputation ✓")
+}

@@ -1,0 +1,127 @@
+package core
+
+import "math"
+
+// This file extends the paper's reliable-network delay model (p² ≈ 0,
+// exactly one loss on the S→u path) to independent per-link Bernoulli loss
+// with survival q = 1−p per link. The paper explicitly scopes its theory to
+// reliable networks (§2.1: "this assumption is required for our theoretical
+// work, but not necessary for the application"); at the 5–20% loss rates of
+// §5 a peer can also have lost the packet on its own private path below the
+// meet router, with probability 1−q^priv, which the single-loss model
+// ignores and which makes the unmodified planner over-optimistic about
+// peers. The loss-aware model multiplies each peer's success probability by
+// its private-path survival and keeps the paper's prefix posterior as a
+// Markov approximation (a failed peer updates the loss prefix to its meet
+// depth — conservative, because a private failure would leave the prefix
+// wider).
+//
+// Under the loss-aware model the telescoping that turns expected delay into
+// additive path length (Eq. 3) breaks, so instead of a DAG shortest path the
+// optimum is computed by backward dynamic programming over the candidate
+// order — same O(N²), exact for the Markov model, and identical to
+// Algorithm 1 at q = 1 (verified by tests).
+
+// CondLossProbQ generalises CondLossProb: the probability that a peer with
+// meet depth ds and priv private links below its meet has lost the packet,
+// given the loss prefix on u's path is `prefix` links, with per-link
+// survival q.
+func CondLossProbQ(ds, prefix, priv int32, q float64) float64 {
+	shared := CondLossProb(ds, prefix)
+	if q >= 1 || priv <= 0 {
+		return shared
+	}
+	if q <= 0 {
+		return 1
+	}
+	privLoss := 1 - math.Pow(q, float64(priv))
+	return shared + (1-shared)*privLoss
+}
+
+// EvalAnyQ is EvalAny under the loss-aware model with per-link survival q.
+// q = 1 reduces exactly to EvalAny.
+func EvalAnyQ(list []AttemptRef, dsU int32, srcRTT float64, q float64) float64 {
+	if dsU <= 0 {
+		return 0
+	}
+	reach := 1.0
+	prefix := dsU
+	total := 0.0
+	for _, a := range list {
+		if reach == 0 {
+			break
+		}
+		pLost := CondLossProbQ(a.DS, prefix, a.Priv, q)
+		total += reach * ((1-pLost)*a.RTT + pLost*a.Timeout)
+		reach *= pLost
+		if a.DS < prefix {
+			prefix = a.DS
+		}
+	}
+	total += reach * srcRTT
+	return total
+}
+
+// OptimalDP computes the minimum-expected-delay strategy under the
+// loss-aware model with per-link survival q, by backward induction over the
+// descending-DS candidate order:
+//
+//	W(i) = min( srcRTT·reach-factor handled implicitly,
+//	            min_{j>i} (1−pl)·rtt_j + pl·(t0_j + W(j)) )
+//
+// where pl = CondLossProbQ(DS_j, DS_i, priv_j, q) and W(i) is the expected
+// remaining delay given every peer up to and including v_i has failed.
+// At q = 1 this is exactly the strategy-graph optimum of Algorithm 1.
+func (sg *StrategyGraph) OptimalDP(q float64) *Strategy {
+	n := len(sg.Candidates)
+	// W[i] for i in 1..n is the remaining expected delay after v_i failed;
+	// W[0] is the answer (state "only u's loss observed", prefix DS_u).
+	W := make([]float64, n+1)
+	choice := make([]int, n+1) // 0 = go to source; else next candidate index (1-based)
+	for i := n; i >= 0; i-- {
+		var prefix int32
+		if i == 0 {
+			prefix = sg.ClientDepth
+		} else {
+			prefix = sg.Candidates[i-1].DS
+		}
+		best := sg.SourceRTT // bail out to the source
+		bestChoice := 0
+		if i == 0 && !sg.AllowDirectSource && n > 0 {
+			best = math.Inf(1)
+		}
+		for j := i + 1; j <= n; j++ {
+			c := sg.Candidates[j-1]
+			pl := CondLossProbQ(c.DS, prefix, c.Priv, q)
+			cost := (1-pl)*c.RTT + pl*(c.Timeout+W[j])
+			if cost < best {
+				best = cost
+				bestChoice = j
+			}
+		}
+		if math.IsInf(best, 1) {
+			// Restricted graph with no usable peers: fall back to source.
+			best = sg.SourceRTT
+			bestChoice = 0
+		}
+		W[i] = best
+		choice[i] = bestChoice
+	}
+	st := &Strategy{
+		Client:        sg.Client,
+		ClientDepth:   sg.ClientDepth,
+		SourceRTT:     sg.SourceRTT,
+		SourceTimeout: sg.SourceTimeout,
+		ExpectedDelay: W[0],
+	}
+	for i := choice[0]; i != 0; i = choice[i] {
+		st.Peers = append(st.Peers, sg.Candidates[i-1])
+	}
+	return st
+}
+
+// EvaluateQ returns the strategy's expected delay under the loss-aware
+// model with per-link survival q.
+func (s *Strategy) EvaluateQ(q float64) float64 {
+	return EvalAnyQ(refs(s.Peers), s.ClientDepth, s.SourceRTT, q)
+}

@@ -1,0 +1,72 @@
+package core
+
+import "math"
+
+// This file provides exhaustive reference optimizers. They exist so that
+// Algorithm 1's optimality (and, through it, Lemmas 4 and 5) can be checked
+// empirically on small instances, and so cmd/strategy can show the
+// brute-force optimum next to the fast one. Exponential — callers bound N.
+
+// BruteForceMeaningful enumerates every subset of the (descending-DS)
+// candidate list, preserving order — i.e. every "meaningful strategy" of
+// §4 — and returns the minimum expected delay and the minimizing list.
+// Complexity O(2^N · N); callers should keep N ≤ ~20.
+func BruteForceMeaningful(cands []Candidate, dsU int32, srcRTT float64) (float64, []Candidate) {
+	n := len(cands)
+	if n > 24 {
+		panic("core: BruteForceMeaningful instance too large")
+	}
+	best := math.Inf(1)
+	var bestList []Candidate
+	subset := make([]AttemptRef, 0, n)
+	pick := make([]Candidate, 0, n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		subset = subset[:0]
+		pick = pick[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				c := cands[i]
+				subset = append(subset, AttemptRef{DS: c.DS, RTT: c.RTT, Timeout: c.Timeout})
+				pick = append(pick, c)
+			}
+		}
+		if d := EvalAny(subset, dsU, srcRTT); d < best {
+			best = d
+			bestList = append([]Candidate(nil), pick...)
+		}
+	}
+	return best, bestList
+}
+
+// BruteForceAnyOrder enumerates every ordered sequence (every permutation of
+// every subset) of the given attempt pool and returns the minimum expected
+// delay. This searches a strict superset of the meaningful strategies, so a
+// match with Algorithm 1 validates Lemmas 4 and 5 (dropping competitive
+// duplicates and non-descending entries never hurts). Factorial — callers
+// should keep the pool ≤ ~7.
+func BruteForceAnyOrder(pool []AttemptRef, dsU int32, srcRTT float64) float64 {
+	if len(pool) > 8 {
+		panic("core: BruteForceAnyOrder instance too large")
+	}
+	best := EvalAny(nil, dsU, srcRTT)
+	used := make([]bool, len(pool))
+	seq := make([]AttemptRef, 0, len(pool))
+	var rec func()
+	rec = func() {
+		if d := EvalAny(seq, dsU, srcRTT); d < best {
+			best = d
+		}
+		for i := range pool {
+			if used[i] {
+				continue
+			}
+			used[i] = true
+			seq = append(seq, pool[i])
+			rec()
+			seq = seq[:len(seq)-1]
+			used[i] = false
+		}
+	}
+	rec()
+	return best
+}

@@ -1,0 +1,123 @@
+package core
+
+// This file implements the paper's expected-delay objective (§3.3) and the
+// underlying conditional-loss model (§3.2, Lemmas 1–3).
+//
+// The reliable-network ("p² ≈ 0") assumption means that, conditioned on
+// client u missing a packet, exactly one link on the S→u tree path dropped
+// it, uniformly among the DS_u links of that path. A peer whose meet router
+// with u sits at depth DS has the packet iff the loss lies strictly below
+// its shared prefix, i.e. on one of the (current-prefix − DS) deepest
+// candidate links. All of the paper's conditional probabilities are
+// consequences of this picture; EvalAny implements it directly so it is
+// valid for *arbitrary* lists (any order, duplicated classes), which the
+// closed form of Eq. (3) is not. Tests verify the two agree on meaningful
+// lists and that EvalAny matches Monte-Carlo simulation of the loss model.
+
+// CondLossProb is Lemma 1: the probability that a peer with meet depth ds
+// has ALSO lost the packet, given that u lost it and that every previously
+// asked peer (whose meet depths lower-bound the loss position to the first
+// `prefix` links) lost it: P = ds/prefix, clamped to [0,1].
+//
+// prefix starts at DS_u and shrinks to min(previous DS values).
+func CondLossProb(ds, prefix int32) float64 {
+	if prefix <= 0 {
+		// The loss is known to sit at the source access link set of size
+		// zero — degenerate; treat the peer as certainly having the packet
+		// (DS 0 means the peer shares nothing with u).
+		return 0
+	}
+	if ds >= prefix {
+		return 1 // Lemma 2: a peer meeting no deeper than a failed one is surely lost
+	}
+	if ds <= 0 {
+		return 0
+	}
+	return float64(ds) / float64(prefix)
+}
+
+// AttemptRef is one recovery attempt for evaluation purposes.
+type AttemptRef struct {
+	DS      int32   // meet depth with u
+	RTT     float64 // round-trip estimate to the peer
+	Timeout float64 // t0 charged when the attempt fails
+	Priv    int32   // private links below the meet (loss-aware model only)
+}
+
+// EvalAny returns the exact expected recovery delay of an arbitrary ordered
+// attempt list under the single-loss model, with a final always-successful
+// source attempt costing srcRTT. dsU is DS_u (tree hop count S→u).
+//
+// Unlike Eq. (3) this does not require the list to be "meaningful": it
+// correctly charges zero success probability to competitive duplicates and
+// to peers whose meet depth is not below the current loss prefix, which is
+// exactly what Lemmas 2, 4 and 5 assert such entries cost.
+func EvalAny(list []AttemptRef, dsU int32, srcRTT float64) float64 {
+	if dsU <= 0 {
+		// A client at depth 0 would be the source itself; treat as free.
+		return 0
+	}
+	reach := 1.0  // probability this attempt is reached
+	prefix := dsU // loss is uniform on the first `prefix` links of S→u
+	total := 0.0
+	for _, a := range list {
+		if reach == 0 {
+			break
+		}
+		pLost := CondLossProb(a.DS, prefix)
+		pHave := 1 - pLost
+		total += reach * (pHave*a.RTT + pLost*a.Timeout)
+		reach *= pLost
+		if a.DS < prefix {
+			prefix = a.DS
+		}
+	}
+	total += reach * srcRTT
+	return total
+}
+
+// EvalMeaningful returns the expected delay of a *meaningful* strategy
+// (distinct classes, strictly descending DS) using the paper's closed form,
+// Eq. (3):
+//
+//	Delay(L) = a_1 + (1/DS_u)·[DS_1·a_2 + … + DS_{k-1}·a_k + DS_k·rtt(u,S)]
+//
+// where a_j is the attempt cost of Eq. (1) with its conditional probability
+// taken relative to the predecessor's DS. It panics if the list is not
+// strictly descending in DS or exceeds DS_u — those are precondition
+// violations, not runtime conditions.
+func EvalMeaningful(list []AttemptRef, dsU int32, srcRTT float64) float64 {
+	if dsU <= 0 {
+		return 0
+	}
+	prev := dsU
+	total := 0.0
+	for i, a := range list {
+		if a.DS >= prev {
+			panic("core: EvalMeaningful on non-descending list")
+		}
+		pLost := float64(a.DS) / float64(prev)
+		aj := a.RTT*(1-pLost) + a.Timeout*pLost
+		// P(reach attempt i) = DS_{i-1}/DS_u by Lemma 3's telescoping.
+		total += float64(prev) / float64(dsU) * aj
+		prev = a.DS
+		_ = i
+	}
+	total += float64(prev) / float64(dsU) * srcRTT
+	return total
+}
+
+// refs converts a candidate list into attempt references.
+func refs(cands []Candidate) []AttemptRef {
+	out := make([]AttemptRef, len(cands))
+	for i, c := range cands {
+		out[i] = AttemptRef{DS: c.DS, RTT: c.RTT, Timeout: c.Timeout, Priv: c.Priv}
+	}
+	return out
+}
+
+// Evaluate returns the expected delay of the given strategy's peer list
+// under the exact model — the number Algorithm 1 optimizes.
+func (s *Strategy) Evaluate() float64 {
+	return EvalAny(refs(s.Peers), s.ClientDepth, s.SourceRTT)
+}

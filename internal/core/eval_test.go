@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rmcast/internal/rng"
+)
+
+func TestCondLossProbLemmaValues(t *testing.T) {
+	// Lemma 1: P(v̄_i | Ū v̄_1…v̄_{i-1}) = DS_i / DS_{i-1}.
+	cases := []struct {
+		ds, prefix int32
+		want       float64
+	}{
+		{2, 4, 0.5},
+		{1, 4, 0.25},
+		{0, 4, 0},  // meet at source ⇒ certainly has the packet
+		{4, 4, 1},  // Lemma 2: same class as a failed peer ⇒ certainly lost
+		{5, 4, 1},  // meet above the current prefix ⇒ certainly lost
+		{3, 0, 0},  // degenerate prefix
+		{-1, 4, 0}, // clamped
+	}
+	for _, c := range cases {
+		if got := CondLossProb(c.ds, c.prefix); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("CondLossProb(%d,%d) = %v, want %v", c.ds, c.prefix, got, c.want)
+		}
+	}
+}
+
+func TestEvalAnyEmptyList(t *testing.T) {
+	// No peers: expected delay is the certain source RTT.
+	if d := EvalAny(nil, 7, 42.5); d != 42.5 {
+		t.Fatalf("empty list delay %v, want 42.5", d)
+	}
+}
+
+func TestEvalAnyZeroDepthClient(t *testing.T) {
+	if d := EvalAny(nil, 0, 10); d != 0 {
+		t.Fatalf("degenerate depth should evaluate to 0, got %v", d)
+	}
+}
+
+func TestEvalAnyHandExample(t *testing.T) {
+	// dsU = 4, single peer with DS=2, rtt=10, timeout=30, srcRTT=100.
+	// P(peer lost | u lost) = 2/4 = 0.5.
+	// E = 0.5·10 + 0.5·30 + 0.5·100 = 5 + 15 + 50 = 70.
+	list := []AttemptRef{{DS: 2, RTT: 10, Timeout: 30}}
+	if d := EvalAny(list, 4, 100); math.Abs(d-70) > 1e-12 {
+		t.Fatalf("hand example = %v, want 70", d)
+	}
+}
+
+func TestEvalAnyTwoPeersHandExample(t *testing.T) {
+	// dsU=4; v1: DS=2, rtt=10, t0=30; v2: DS=1, rtt=20, t0=60; srcRTT=100.
+	// Attempt1: P(lost1)=2/4=.5 → cost .5·10+.5·30 = 20.
+	// Attempt2 (reach .5, prefix 2): P(lost2)=1/2 → cost .5·(.5·20+.5·60)= .5·40=20... wait .5·(0.5·20+0.5·60)=.5·40=20.
+	// Source (reach .5·.5=.25): .25·100 = 25. Total 20+20+25 = 65.
+	list := []AttemptRef{
+		{DS: 2, RTT: 10, Timeout: 30},
+		{DS: 1, RTT: 20, Timeout: 60},
+	}
+	if d := EvalAny(list, 4, 100); math.Abs(d-65) > 1e-12 {
+		t.Fatalf("two-peer example = %v, want 65", d)
+	}
+}
+
+func TestEvalAnyCompetitiveDuplicateIsPureLoss(t *testing.T) {
+	// Lemma 4: adding a second member of the same class can only add its
+	// timeout, weighted by the reach probability.
+	base := []AttemptRef{{DS: 2, RTT: 10, Timeout: 30}}
+	dup := []AttemptRef{
+		{DS: 2, RTT: 10, Timeout: 30},
+		{DS: 2, RTT: 8, Timeout: 25}, // same class: conditional success 0
+	}
+	d0 := EvalAny(base, 4, 100)
+	d1 := EvalAny(dup, 4, 100)
+	// The duplicate is reached with prob 0.5 and always times out (+25·0.5).
+	if math.Abs(d1-(d0+0.5*25)) > 1e-12 {
+		t.Fatalf("duplicate accounting wrong: %v vs %v", d1, d0+12.5)
+	}
+	if d1 <= d0 {
+		t.Fatal("Lemma 4 violated: duplicate helped")
+	}
+}
+
+func TestEvalAnyNonDescendingEntryIsPureLoss(t *testing.T) {
+	// Lemma 5: after a peer with DS=1 failed, a peer with DS=3 is surely
+	// lost too; asking it only burns its timeout.
+	good := []AttemptRef{{DS: 1, RTT: 10, Timeout: 30}}
+	bad := []AttemptRef{
+		{DS: 1, RTT: 10, Timeout: 30},
+		{DS: 3, RTT: 5, Timeout: 20},
+	}
+	d0 := EvalAny(good, 4, 100)
+	d1 := EvalAny(bad, 4, 100)
+	if d1 <= d0 {
+		t.Fatal("Lemma 5 violated: stale high-DS peer helped")
+	}
+}
+
+func TestEvalMeaningfulMatchesEvalAny(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 500; trial++ {
+		dsU := int32(2 + r.Intn(20))
+		// Random strictly descending DS list below dsU.
+		var list []AttemptRef
+		ds := dsU
+		for ds > 0 && r.Float64() < 0.7 {
+			ds = int32(r.Intn(int(ds))) // strictly below previous
+			list = append(list, AttemptRef{
+				DS:      ds,
+				RTT:     r.Uniform(1, 50),
+				Timeout: r.Uniform(10, 200),
+			})
+			if ds == 0 {
+				break
+			}
+		}
+		srcRTT := r.Uniform(20, 300)
+		a := EvalAny(list, dsU, srcRTT)
+		m := EvalMeaningful(list, dsU, srcRTT)
+		if math.Abs(a-m) > 1e-9*(1+math.Abs(a)) {
+			t.Fatalf("trial %d: EvalAny %v != EvalMeaningful %v (dsU=%d list=%v)",
+				trial, a, m, dsU, list)
+		}
+	}
+}
+
+func TestEvalMeaningfulPanicsOnBadOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-descending list accepted")
+		}
+	}()
+	EvalMeaningful([]AttemptRef{{DS: 1}, {DS: 2}}, 4, 10)
+}
+
+// TestEvalAnyMatchesMonteCarlo validates the evaluator against a direct
+// simulation of the single-loss model: the loss link is uniform on the DS_u
+// links of the S→u path; a peer with meet depth DS has the packet iff the
+// loss lies strictly below its shared prefix.
+func TestEvalAnyMatchesMonteCarlo(t *testing.T) {
+	r := rng.New(555)
+	for trial := 0; trial < 20; trial++ {
+		dsU := int32(3 + r.Intn(10))
+		nPeers := 1 + r.Intn(4)
+		list := make([]AttemptRef, nPeers)
+		for i := range list {
+			list[i] = AttemptRef{
+				DS:      int32(r.Intn(int(dsU))),
+				RTT:     r.Uniform(1, 50),
+				Timeout: r.Uniform(10, 100),
+			}
+		}
+		srcRTT := r.Uniform(20, 200)
+		want := EvalAny(list, dsU, srcRTT)
+
+		const samples = 200000
+		var sum float64
+		for s := 0; s < samples; s++ {
+			lossLink := int32(1 + r.Intn(int(dsU))) // 1-based depth of lost link
+			var cost float64
+			recovered := false
+			for _, a := range list {
+				if a.DS < lossLink { // peer's shared prefix excludes the loss
+					cost += a.RTT
+					recovered = true
+					break
+				}
+				cost += a.Timeout
+			}
+			if !recovered {
+				cost += srcRTT
+			}
+			sum += cost
+		}
+		got := sum / samples
+		// Monte-Carlo tolerance: generous but tight enough to catch model
+		// errors (which produce O(1) deviations).
+		if math.Abs(got-want) > 0.02*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: MC %v vs analytic %v (dsU=%d, list=%v)",
+				trial, got, want, dsU, list)
+		}
+	}
+}
+
+func TestTimeoutPolicies(t *testing.T) {
+	if FixedTimeout(120).Timeout(5) != 120 {
+		t.Fatal("FixedTimeout wrong")
+	}
+	if ProportionalTimeout(3).Timeout(5) != 15 {
+		t.Fatal("ProportionalTimeout wrong")
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzEvalAny drives the evaluator with arbitrary attempt lists: it must
+// never panic, never return NaN/negative, and never beat the best single
+// component (probabilities are convex weights over non-negative costs).
+func FuzzEvalAny(f *testing.F) {
+	f.Add(int32(4), int32(2), 10.0, 30.0, int32(1), 100.0)
+	f.Add(int32(1), int32(0), 1.0, 1.0, int32(0), 1.0)
+	f.Add(int32(20), int32(19), 55.5, 200.0, int32(7), 80.0)
+	f.Fuzz(func(t *testing.T, dsU, ds int32, rtt, timeout float64, priv int32, srcRTT float64) {
+		if math.IsNaN(rtt) || math.IsNaN(timeout) || math.IsNaN(srcRTT) ||
+			math.IsInf(rtt, 0) || math.IsInf(timeout, 0) || math.IsInf(srcRTT, 0) {
+			t.Skip()
+		}
+		if rtt < 0 || timeout < 0 || srcRTT < 0 || rtt > 1e9 || timeout > 1e9 || srcRTT > 1e9 {
+			t.Skip()
+		}
+		list := []AttemptRef{{DS: ds, RTT: rtt, Timeout: timeout, Priv: priv}}
+		got := EvalAny(list, dsU, srcRTT)
+		if math.IsNaN(got) || got < 0 {
+			t.Fatalf("EvalAny returned %v for dsU=%d %+v src=%v", got, dsU, list, srcRTT)
+		}
+		// Upper bound: worst case is timeout then source.
+		if dsU > 0 && got > rtt+timeout+srcRTT+1e-9 {
+			t.Fatalf("EvalAny %v exceeds worst case %v", got, rtt+timeout+srcRTT)
+		}
+		// q variants must also be finite and ordered.
+		for _, q := range []float64{0, 0.5, 1} {
+			v := EvalAnyQ(list, dsU, srcRTT, q)
+			if math.IsNaN(v) || v < 0 {
+				t.Fatalf("EvalAnyQ(q=%v) returned %v", q, v)
+			}
+		}
+	})
+}
+
+// FuzzCondLossProb asserts the probability contract on arbitrary inputs.
+func FuzzCondLossProb(f *testing.F) {
+	f.Add(int32(2), int32(4), int32(3), 0.9)
+	f.Add(int32(-5), int32(0), int32(-2), 2.0)
+	f.Fuzz(func(t *testing.T, ds, prefix, priv int32, q float64) {
+		if math.IsNaN(q) {
+			t.Skip()
+		}
+		p := CondLossProbQ(ds, prefix, priv, q)
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("CondLossProbQ(%d,%d,%d,%v) = %v out of [0,1]", ds, prefix, priv, q, p)
+		}
+		base := CondLossProb(ds, prefix)
+		if base < 0 || base > 1 {
+			t.Fatalf("CondLossProb(%d,%d) = %v out of [0,1]", ds, prefix, base)
+		}
+		// Private exposure can only increase loss probability.
+		if q >= 0 && q <= 1 && p < base-1e-12 {
+			t.Fatalf("private exposure lowered loss probability: %v < %v", p, base)
+		}
+	})
+}

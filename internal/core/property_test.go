@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rmcast/internal/rng"
+)
+
+// genSG builds a random strategy graph from a compact quick tuple with a
+// uniform timeout factor, matching the planner invariant.
+func genSG(seed uint64, sizeByte uint8, beta float64) *StrategyGraph {
+	r := rng.New(seed)
+	dsU := int32(3 + r.Intn(14))
+	nWant := int(sizeByte) % 10
+	used := map[int32]bool{}
+	var cands []Candidate
+	for len(cands) < nWant && len(used) < int(dsU) {
+		d := int32(r.Intn(int(dsU)))
+		if used[d] {
+			continue
+		}
+		used[d] = true
+		rtt := r.Uniform(1, 60)
+		cands = append(cands, Candidate{
+			DS: d, RTT: rtt, Timeout: beta * rtt, Priv: int32(r.Intn(5)),
+		})
+	}
+	for i := range cands {
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].DS > cands[i].DS {
+				cands[i], cands[j] = cands[j], cands[i]
+			}
+		}
+	}
+	srcRTT := r.Uniform(20, 250)
+	return &StrategyGraph{
+		Client: 1, ClientDepth: dsU, Candidates: cands,
+		SourceRTT: srcRTT, SourceTimeout: beta * srcRTT,
+		AllowDirectSource: true,
+	}
+}
+
+// Property: the optimum never exceeds the direct-source cost, and the
+// returned list is strictly descending in DS with distinct entries.
+func TestPropOptimumStructure(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		sg := genSG(seed, size, 3)
+		st := sg.Algorithm1()
+		if st.ExpectedDelay > sg.SourceRTT+1e-9 {
+			return false
+		}
+		prev := sg.ClientDepth
+		for _, c := range st.Peers {
+			if c.DS >= prev {
+				return false
+			}
+			prev = c.DS
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: removing a candidate cannot improve the optimum (more options
+// never hurt an optimal planner).
+func TestPropMoreOptionsNeverHurt(t *testing.T) {
+	f := func(seed uint64, size uint8, dropByte uint8) bool {
+		sg := genSG(seed, size, 3)
+		full := sg.Algorithm1().ExpectedDelay
+		if len(sg.Candidates) == 0 {
+			return true
+		}
+		drop := int(dropByte) % len(sg.Candidates)
+		reduced := &StrategyGraph{
+			Client: sg.Client, ClientDepth: sg.ClientDepth,
+			SourceRTT: sg.SourceRTT, SourceTimeout: sg.SourceTimeout,
+			AllowDirectSource: true,
+		}
+		for i, c := range sg.Candidates {
+			if i != drop {
+				reduced.Candidates = append(reduced.Candidates, c)
+			}
+		}
+		return reduced.Algorithm1().ExpectedDelay >= full-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the optimum is monotone in the timeout factor — cheaper failed
+// attempts can only help.
+func TestPropOptimumMonotoneInTimeout(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		lo := genSG(seed, size, 1.5).Algorithm1().ExpectedDelay
+		hi := genSG(seed, size, 4).Algorithm1().ExpectedDelay
+		return lo <= hi+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the restricted optimum is never better than the unrestricted
+// one, and both coincide when the unrestricted optimum already starts with
+// a peer.
+func TestPropRestrictionOrdering(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		open := genSG(seed, size, 3)
+		openOpt := open.Algorithm1()
+		restricted := genSG(seed, size, 3)
+		restricted.AllowDirectSource = false
+		resOpt := restricted.Algorithm1()
+		if resOpt.ExpectedDelay < openOpt.ExpectedDelay-1e-9 {
+			return false
+		}
+		if len(openOpt.Peers) > 0 &&
+			math.Abs(resOpt.ExpectedDelay-openOpt.ExpectedDelay) > 1e-9 {
+			// If the unrestricted plan already avoids the direct edge,
+			// restriction must not change the value.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the loss-aware DP optimum is monotone non-increasing in q (a
+// more reliable network can only lower the optimal expected delay, since
+// the q=low model prices every list higher).
+func TestPropDPMonotoneInQ(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		sg := genSG(seed, size, 3)
+		prev := math.Inf(1)
+		for _, q := range []float64{0.6, 0.8, 0.95, 1} {
+			v := sg.OptimalDP(q).ExpectedDelay
+			if v > prev+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prepending the optimum's own first peer to the REMAINING
+// optimum reproduces the optimum value (Bellman consistency of the DP).
+func TestPropBellmanConsistency(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		sg := genSG(seed, size, 3)
+		st := sg.Algorithm1()
+		return math.Abs(st.Evaluate()-st.ExpectedDelay) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

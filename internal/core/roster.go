@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rmcast/internal/graph"
+)
+
+// Roster maintains recovery strategies for a multicast group under
+// membership churn. The paper computes strategies once for a static group;
+// in a deployment, members come and go, and recomputing every client's
+// strategy graph on every change is O(k·N²). The roster tracks, per client,
+// which peer currently wins each competitive class, so that
+//
+//   - a LEAVING member invalidates only the clients whose lists contain it
+//     as a class winner (it can never affect anyone else: Lemma 4 admits
+//     only class winners into optimal lists), and
+//   - a JOINING member invalidates only the clients for which it beats (or
+//     creates) the winner of its own class.
+//
+// Every other client's strategy is provably unchanged, which keeps churn
+// handling near O(affected·N²) instead of O(k·N²). Tests verify the
+// incremental results equal full recomputation after arbitrary churn.
+type Roster struct {
+	p      *Planner
+	active map[graph.NodeID]bool
+	// strategies holds the current plan per active client.
+	strategies map[graph.NodeID]*Strategy
+	// winners[u] maps each meet router to u's current class winner, so
+	// membership changes can be mapped to affected clients cheaply.
+	winners map[graph.NodeID]map[graph.NodeID]Candidate
+	// recomputes counts strategy recomputations (observability/testing).
+	recomputes int
+}
+
+// NewRoster creates a roster over the planner's full client set, all
+// initially active.
+func NewRoster(p *Planner) *Roster {
+	r := &Roster{
+		p:          p,
+		active:     make(map[graph.NodeID]bool),
+		strategies: make(map[graph.NodeID]*Strategy),
+		winners:    make(map[graph.NodeID]map[graph.NodeID]Candidate),
+	}
+	for _, c := range p.Tree.Clients {
+		r.active[c] = true
+	}
+	for c := range r.active {
+		r.replan(c)
+	}
+	return r
+}
+
+// Active reports whether a client is currently a group member.
+func (r *Roster) Active(c graph.NodeID) bool { return r.active[c] }
+
+// Strategy returns the current strategy of an active client (nil for
+// inactive or unknown nodes).
+func (r *Roster) Strategy(c graph.NodeID) *Strategy { return r.strategies[c] }
+
+// Recomputes returns the number of per-client strategy recomputations
+// performed since construction (including the initial k).
+func (r *Roster) Recomputes() int { return r.recomputes }
+
+// candidatesAmong computes u's class-winner map restricted to active peers
+// — the roster-aware version of Planner.Candidates.
+func (r *Roster) candidatesAmong(u graph.NodeID) map[graph.NodeID]Candidate {
+	pol := r.p.timeout()
+	best := make(map[graph.NodeID]Candidate)
+	for v := range r.active {
+		if v == u {
+			continue
+		}
+		meet := r.p.Tree.LCA(u, v)
+		rtt := r.p.Routes.RTT(u, v)
+		cand := Candidate{
+			Peer:    v,
+			Meet:    meet,
+			DS:      r.p.Tree.Depth[meet],
+			RTT:     rtt,
+			Timeout: pol.Timeout(rtt),
+			Priv:    r.p.Tree.Depth[v] - r.p.Tree.Depth[meet],
+		}
+		cur, ok := best[meet]
+		if !ok {
+			best[meet] = cand
+			continue
+		}
+		cc, pc := r.p.attemptCost(u, cand), r.p.attemptCost(u, cur)
+		if cc < pc || (cc == pc && cand.Peer < cur.Peer) {
+			best[meet] = cand
+		}
+	}
+	return best
+}
+
+// replan recomputes one client's strategy from its roster-restricted
+// candidates and refreshes the winner index.
+func (r *Roster) replan(u graph.NodeID) {
+	best := r.candidatesAmong(u)
+	cands := make([]Candidate, 0, len(best))
+	for _, c := range best {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].DS > cands[j].DS })
+	srcRTT := r.p.Routes.RTT(u, r.p.Tree.Root)
+	sg := &StrategyGraph{
+		Client:            u,
+		ClientDepth:       r.p.Tree.Depth[u],
+		Candidates:        cands,
+		SourceRTT:         srcRTT,
+		SourceTimeout:     r.p.timeout().Timeout(srcRTT),
+		AllowDirectSource: r.p.AllowDirectSource,
+	}
+	if r.p.LossProb > 0 {
+		r.strategies[u] = sg.OptimalDP(1 - r.p.LossProb)
+	} else {
+		r.strategies[u] = sg.Algorithm1()
+	}
+	r.winners[u] = best
+	r.recomputes++
+}
+
+// Leave removes a member and incrementally repairs the affected strategies.
+// It returns the clients whose strategies were recomputed.
+func (r *Roster) Leave(v graph.NodeID) ([]graph.NodeID, error) {
+	if !r.active[v] {
+		return nil, fmt.Errorf("core: %d is not an active member", v)
+	}
+	delete(r.active, v)
+	delete(r.strategies, v)
+	delete(r.winners, v)
+	var affected []graph.NodeID
+	for u, classes := range r.winners {
+		for _, w := range classes {
+			if w.Peer == v {
+				affected = append(affected, u)
+				break
+			}
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, u := range affected {
+		r.replan(u)
+	}
+	return affected, nil
+}
+
+// Join (re-)activates a member and incrementally repairs the affected
+// strategies: clients for which v beats or creates its class winner, plus
+// v itself. It returns the clients whose strategies were recomputed
+// (excluding v).
+func (r *Roster) Join(v graph.NodeID) ([]graph.NodeID, error) {
+	if r.active[v] {
+		return nil, fmt.Errorf("core: %d is already active", v)
+	}
+	if !r.p.Tree.Net.IsClient(v) {
+		return nil, fmt.Errorf("core: %d is not a client of this tree", v)
+	}
+	r.active[v] = true
+	var affected []graph.NodeID
+	for u, classes := range r.winners {
+		meet := r.p.Tree.LCA(u, v)
+		rtt := r.p.Routes.RTT(u, v)
+		cand := Candidate{
+			Peer: v, Meet: meet, DS: r.p.Tree.Depth[meet],
+			RTT: rtt, Timeout: r.p.timeout().Timeout(rtt),
+			Priv: r.p.Tree.Depth[v] - r.p.Tree.Depth[meet],
+		}
+		cur, ok := classes[meet]
+		if !ok {
+			affected = append(affected, u)
+			continue
+		}
+		cc, pc := r.p.attemptCost(u, cand), r.p.attemptCost(u, cur)
+		if cc < pc || (cc == pc && cand.Peer < cur.Peer) {
+			affected = append(affected, u)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	for _, u := range affected {
+		r.replan(u)
+	}
+	r.replan(v)
+	return affected, nil
+}
+
+// Strategies returns the current strategy map (shared; do not mutate).
+func (r *Roster) Strategies() map[graph.NodeID]*Strategy { return r.strategies }

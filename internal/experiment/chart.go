@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders the figure as an ASCII line chart — enough to eyeball the
+// paper's curve shapes (orderings, crossovers, trends) straight from a
+// terminal, without a plotting stack. Each protocol gets a glyph; collisions
+// show the later protocol's glyph.
+func (f *Figure) Chart(w io.Writer, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	if len(f.Rows) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no data)\n", f.Name)
+		return err
+	}
+	glyphs := []byte{'S', 'M', 'R', 'a', 'b', 'c', 'd', 'e', 'f'}
+
+	// Value range across all protocols.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range f.Rows {
+		for _, p := range f.Protocols {
+			v := f.Value(row.Points[p])
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo -= pad
+	hi += pad
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	xpos := func(i int) int {
+		if len(f.Rows) == 1 {
+			return width / 2
+		}
+		return i * (width - 1) / (len(f.Rows) - 1)
+	}
+	ypos := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		row := int(math.Round(float64(height-1) * (1 - frac)))
+		if row < 0 {
+			row = 0
+		}
+		if row >= height {
+			row = height - 1
+		}
+		return row
+	}
+	for pi, p := range f.Protocols {
+		g := glyphs[pi%len(glyphs)]
+		for i, row := range f.Rows {
+			grid[ypos(f.Value(row.Points[p]))][xpos(i)] = g
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", f.Name); err != nil {
+		return err
+	}
+	for i, line := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.1f ", lo)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "         %-*g%*g  (%s)\n",
+		width/2, f.Rows[0].X, width-width/2-1, f.Rows[len(f.Rows)-1].X, f.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for pi, p := range f.Protocols {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[pi%len(glyphs)], p))
+	}
+	_, err := fmt.Fprintf(w, "        %s, y: %s\n", strings.Join(legend, " "), f.YLabel)
+	return err
+}

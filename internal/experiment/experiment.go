@@ -1,0 +1,217 @@
+// Package experiment is the harness that regenerates the paper's evaluation
+// (§5, Figures 5–8) plus the ablation studies listed in DESIGN.md. It owns
+// protocol construction by name, single-run execution, multi-seed sweeps,
+// and figure formatting, so cmd/figures and the root benchmark suite share
+// one code path.
+package experiment
+
+import (
+	"fmt"
+
+	"rmcast/internal/lsr"
+	"rmcast/internal/protocol"
+	"rmcast/internal/protocol/ack"
+	"rmcast/internal/protocol/fec"
+	"rmcast/internal/protocol/rma"
+	"rmcast/internal/protocol/rpproto"
+	"rmcast/internal/protocol/srcrec"
+	"rmcast/internal/protocol/srm"
+	"rmcast/internal/rng"
+	"rmcast/internal/route"
+	"rmcast/internal/topology"
+)
+
+// Protocols compared in the paper's figures, in presentation order.
+var PaperProtocols = []string{"SRM", "RMA", "RP"}
+
+// AblationProtocols are the RP variants and the source-recovery floor used
+// by the ablation benchmarks (experiment E7 in DESIGN.md).
+var AblationProtocols = []string{"RP", "RP-AWARE", "RP-NOSRC", "RP-NAK", "RP-SUBGROUP", "SRC", "SRM-HONEST", "SRM-ADAPT", "FEC", "ACK"}
+
+// NewEngine constructs a protocol engine by name. Recognised names:
+//
+//	SRM          — Scalable Reliable Multicast baseline
+//	RMA          — Reliable Multicast Architecture baseline
+//	RP           — the paper's recovery strategy (default options)
+//	RP-AWARE     — RP planned with the loss-aware model (core/aware.go)
+//	RP-NOSRC     — RP with the restricted strategy graph (no direct u→S edge)
+//	RP-NAK       — RP with explicit NAK replies instead of pure timeouts
+//	RP-SUBGROUP  — RP with source subgroup-multicast repairs ([4])
+//	SRC          — pure unicast source recovery (ablation floor)
+//	SRM-HONEST   — SRM without the paper's idealised one-flood-per-packet
+//	               repair cost model (distributed suppression only)
+//	SRM-ADAPT    — SRM-HONEST plus Floyd-style adaptive timer widening
+//	FEC          — proactive parity baseline (reference [5]): K=8 data +
+//	               2 parity per block, local decode, source fallback
+//	ACK          — sender-initiated positive-ACK baseline (reference [21]);
+//	               shows the ACK-implosion cost in request hops
+func NewEngine(name string) (protocol.Engine, error) {
+	switch name {
+	case "SRM":
+		return srm.New(srm.DefaultOptions()), nil
+	case "SRM-HONEST":
+		opt := srm.DefaultOptions()
+		opt.GlobalSuppression = false
+		return srm.New(opt), nil
+	case "SRM-ADAPT":
+		opt := srm.DefaultOptions()
+		opt.GlobalSuppression = false
+		opt.Adaptive = true
+		return srm.New(opt), nil
+	case "RMA":
+		return rma.New(rma.DefaultOptions()), nil
+	case "RP":
+		return rpproto.New(rpproto.DefaultOptions()), nil
+	case "RP-AWARE":
+		opt := rpproto.DefaultOptions()
+		opt.LossAware = true
+		return rpproto.New(opt), nil
+	case "RP-NOSRC":
+		opt := rpproto.DefaultOptions()
+		opt.AllowDirectSource = false
+		return rpproto.New(opt), nil
+	case "RP-NAK":
+		opt := rpproto.DefaultOptions()
+		opt.NakReplies = true
+		return rpproto.New(opt), nil
+	case "RP-SUBGROUP":
+		opt := rpproto.DefaultOptions()
+		opt.SubgroupRepair = true
+		return rpproto.New(opt), nil
+	case "SRC":
+		return srcrec.New(srcrec.DefaultOptions()), nil
+	case "FEC":
+		return fec.New(fec.DefaultOptions()), nil
+	case "ACK":
+		return ack.New(ack.DefaultOptions()), nil
+	}
+	return nil, fmt.Errorf("experiment: unknown protocol %q", name)
+}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	// Routers is the backbone size m (the paper's "number of nodes in the
+	// network model").
+	Routers int
+	// Loss is the uniform per-link loss probability.
+	Loss float64
+	// Protocol names the engine (see NewEngine).
+	Protocol string
+	// Packets and Interval configure the data stream.
+	Packets  int
+	Interval float64
+	// TopoSeed fixes the topology; SimSeed fixes the packet/timer fates.
+	// Keeping them separate lets a sweep hold the topology constant
+	// across protocols (as the paper does) while varying traffic seeds
+	// across replicates.
+	TopoSeed, SimSeed uint64
+	// Tree selects the multicast-tree construction (default: the paper's
+	// uniform random spanning tree).
+	Tree topology.TreeKind
+	// LinkState, when true, replaces the omniscient routing oracle with
+	// the converged link-state protocol of internal/lsr, whose delay
+	// estimates carry RouteNoise relative measurement error.
+	LinkState  bool
+	RouteNoise float64
+}
+
+// Run executes one simulation run.
+func Run(spec RunSpec) (*protocol.Result, error) {
+	tcfg := topology.DefaultConfig(spec.Routers)
+	tcfg.LossProb = spec.Loss
+	tcfg.Tree = spec.Tree
+	topo, err := topology.Generate(tcfg, rng.New(spec.TopoSeed))
+	if err != nil {
+		return nil, err
+	}
+	eng, err := NewEngine(spec.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	cfg := protocol.DefaultConfig()
+	if spec.Packets > 0 {
+		cfg.Packets = spec.Packets
+	}
+	if spec.Interval > 0 {
+		cfg.Interval = spec.Interval
+	}
+	var router route.Router
+	if spec.LinkState {
+		router, _ = lsr.Converge(topo, lsr.Config{Noise: spec.RouteNoise},
+			rng.New(spec.TopoSeed+0x9e3779b9))
+	}
+	s, err := protocol.NewSessionWithRouter(topo, eng, cfg, spec.SimSeed, router)
+	if err != nil {
+		return nil, err
+	}
+	res := s.Run()
+	if !res.Complete {
+		return res, fmt.Errorf("experiment: run %+v hit the event cap", spec)
+	}
+	if res.Stats.Unrecovered > 0 {
+		return res, fmt.Errorf("experiment: run %+v left %d losses unrecovered",
+			spec, res.Stats.Unrecovered)
+	}
+	return res, nil
+}
+
+// Point is one measured (protocol, x) cell of a figure.
+type Point struct {
+	Latency   float64 // mean recovery latency, ms
+	Bandwidth float64 // recovery hops per packet recovered
+	Losses    int64
+	Clients   int
+	// LatSamples and BwSamples hold the per-replicate values (confidence
+	// intervals across traffic seeds).
+	LatSamples []float64
+	BwSamples  []float64
+}
+
+// merge folds another replicate into the point with equal weight by loss
+// count (per-recovery means combine weighted by recovery counts; loss
+// counts are near-identical across protocols on the same topology/seed).
+func (p *Point) merge(o Point) {
+	tot := p.Losses + o.Losses
+	if tot == 0 {
+		return
+	}
+	wp := float64(p.Losses) / float64(tot)
+	wo := float64(o.Losses) / float64(tot)
+	p.Latency = p.Latency*wp + o.Latency*wo
+	p.Bandwidth = p.Bandwidth*wp + o.Bandwidth*wo
+	p.Losses = tot
+	if o.Clients > p.Clients {
+		p.Clients = o.Clients
+	}
+	p.LatSamples = append(p.LatSamples, o.LatSamples...)
+	p.BwSamples = append(p.BwSamples, o.BwSamples...)
+}
+
+// Row is one x-position of a figure with a point per protocol.
+type Row struct {
+	// X is the independent variable: client count (Figures 5/6) or loss
+	// percentage (Figures 7/8).
+	X float64
+	// Label annotates the row (e.g. "n=500").
+	Label string
+	// Points maps protocol name → measurement.
+	Points map[string]Point
+}
+
+// Figure is a reproduced paper figure: rows of per-protocol measurements.
+type Figure struct {
+	Name      string
+	XLabel    string
+	YLabel    string
+	Metric    string // "latency" or "bandwidth"
+	Protocols []string
+	Rows      []Row
+}
+
+// Value extracts this figure's metric from a point.
+func (f *Figure) Value(p Point) float64 {
+	if f.Metric == "bandwidth" {
+		return p.Bandwidth
+	}
+	return p.Latency
+}

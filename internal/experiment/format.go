@@ -1,0 +1,159 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Format writes the figure as an aligned text table (the form EXPERIMENTS.md
+// and cmd/figures print).
+func (f *Figure) Format(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", f.Name); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := []string{f.XLabel}
+	for _, p := range f.Protocols {
+		header = append(header, p)
+	}
+	header = append(header, "note")
+	fmt.Fprintln(tw, strings.Join(header, "\t"))
+	for _, row := range f.Rows {
+		cells := []string{fmt.Sprintf("%g", row.X)}
+		for _, p := range f.Protocols {
+			cells = append(cells, fmt.Sprintf("%.2f", f.Value(row.Points[p])))
+		}
+		cells = append(cells, row.Label)
+		fmt.Fprintln(tw, strings.Join(cells, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	// Summary ratios in the style of the paper's §5.2 claims (RP versus
+	// each baseline, averaged across rows).
+	if contains(f.Protocols, "RP") {
+		for _, base := range f.Protocols {
+			if base == "RP" {
+				continue
+			}
+			var rp, b float64
+			n := 0
+			for _, row := range f.Rows {
+				bv := f.Value(row.Points[base])
+				if bv <= 0 {
+					continue
+				}
+				rp += f.Value(row.Points["RP"])
+				b += bv
+				n++
+			}
+			if n > 0 && b > 0 {
+				fmt.Fprintf(w, "RP vs %s: %.2f%% lower %s on average\n",
+					base, 100*(1-rp/b), f.Metric)
+			}
+		}
+	}
+	return nil
+}
+
+// Markdown writes the figure as a GitHub-flavoured markdown table — the
+// form EXPERIMENTS.md embeds, so the document can be regenerated with
+// `cmd/figures -md`.
+func (f *Figure) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n\n", f.Name); err != nil {
+		return err
+	}
+	header := "| " + f.XLabel + " |"
+	sep := "|---|"
+	for _, p := range f.Protocols {
+		header += " " + p + " |"
+		sep += "---|"
+	}
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", header, sep); err != nil {
+		return err
+	}
+	for _, row := range f.Rows {
+		line := fmt.Sprintf("| %g |", row.X)
+		for _, p := range f.Protocols {
+			pt := row.Points[p]
+			if ci := f.ci(pt); ci > 0 {
+				line += fmt.Sprintf(" %.2f ± %.2f |", f.Value(pt), ci)
+			} else {
+				line += fmt.Sprintf(" %.2f |", f.Value(pt))
+			}
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ci returns the 95% confidence half-width across replicates for this
+// figure's metric (0 with fewer than 2 replicates).
+func (f *Figure) ci(p Point) float64 {
+	samples := p.LatSamples
+	if f.Metric == "bandwidth" {
+		samples = p.BwSamples
+	}
+	n := len(samples)
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(n)
+	var m2 float64
+	for _, v := range samples {
+		m2 += (v - mean) * (v - mean)
+	}
+	sd := math.Sqrt(m2 / float64(n-1))
+	return 1.96 * sd / math.Sqrt(float64(n))
+}
+
+// CSV writes the figure as comma-separated values with a header row.
+func (f *Figure) CSV(w io.Writer) error {
+	cols := append([]string{f.XLabel}, f.Protocols...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range f.Rows {
+		cells := []string{fmt.Sprintf("%g", row.X)}
+		for _, p := range f.Protocols {
+			cells = append(cells, fmt.Sprintf("%.4f", f.Value(row.Points[p])))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RPImprovement returns RP's average relative improvement (0..1) over the
+// named baseline for this figure's metric, for EXPERIMENTS.md comparisons.
+func (f *Figure) RPImprovement(baseline string) float64 {
+	var rp, b float64
+	for _, row := range f.Rows {
+		rp += f.Value(row.Points["RP"])
+		b += f.Value(row.Points[baseline])
+	}
+	if b == 0 {
+		return 0
+	}
+	return 1 - rp/b
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"fmt"
+)
+
+// GroupSizeSweep reproduces Figures 5 and 6: the three protocols across
+// growing network sizes at fixed loss.
+type GroupSizeSweep struct {
+	// Sizes are the backbone router counts (the paper: 50…600).
+	Sizes []int
+	// Loss is the per-link loss probability (the paper: 5%).
+	Loss float64
+	// Protocols to compare; nil means PaperProtocols.
+	Protocols []string
+	// Packets, Interval configure each run's data stream.
+	Packets  int
+	Interval float64
+	// Replicates averages this many traffic seeds per cell (topology held
+	// fixed per size, as in the paper). Minimum 1.
+	Replicates int
+	// BaseSeed derives all topology and traffic seeds.
+	BaseSeed uint64
+}
+
+// PaperFigure56 returns the sweep matching the paper's §5.2 setup:
+// n ∈ {50,100,200,300,400,500,600}, p = 5%.
+func PaperFigure56() GroupSizeSweep {
+	return GroupSizeSweep{
+		Sizes:      []int{50, 100, 200, 300, 400, 500, 600},
+		Loss:       0.05,
+		Packets:    100,
+		Interval:   50,
+		Replicates: 1,
+		BaseSeed:   2003,
+	}
+}
+
+// Run executes the sweep and returns the latency figure (Figure 5) and the
+// bandwidth figure (Figure 6).
+func (g GroupSizeSweep) Run() (latency, bandwidth *Figure, err error) {
+	protocols := g.Protocols
+	if protocols == nil {
+		protocols = PaperProtocols
+	}
+	reps := g.Replicates
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []Row
+	for si, size := range g.Sizes {
+		row := Row{X: 0, Label: fmt.Sprintf("n=%d", size), Points: map[string]Point{}}
+		topoSeed := g.BaseSeed + uint64(si)*1000
+		for _, proto := range protocols {
+			var agg Point
+			for rep := 0; rep < reps; rep++ {
+				res, rerr := Run(RunSpec{
+					Routers:  size,
+					Loss:     g.Loss,
+					Protocol: proto,
+					Packets:  g.Packets,
+					Interval: g.Interval,
+					TopoSeed: topoSeed,
+					SimSeed:  g.BaseSeed + uint64(si)*1000 + uint64(rep) + 1,
+				})
+				if rerr != nil {
+					return nil, nil, fmt.Errorf("size %d %s rep %d: %w", size, proto, rep, rerr)
+				}
+				p := Point{
+					Latency:    res.AvgLatency(),
+					Bandwidth:  res.BandwidthPerRecovery(),
+					Losses:     res.Stats.Losses,
+					Clients:    res.Clients,
+					LatSamples: []float64{res.AvgLatency()},
+					BwSamples:  []float64{res.BandwidthPerRecovery()},
+				}
+				if rep == 0 {
+					agg = p
+				} else {
+					agg.merge(p)
+				}
+			}
+			row.Points[proto] = agg
+			row.X = float64(agg.Clients)
+		}
+		rows = append(rows, row)
+	}
+	latency = &Figure{
+		Name:      "Figure 5: average recovery latency per packet recovered",
+		XLabel:    "clients",
+		YLabel:    "latency (ms)",
+		Metric:    "latency",
+		Protocols: protocols,
+		Rows:      rows,
+	}
+	bandwidth = &Figure{
+		Name:      "Figure 6: average bandwidth usage per packet recovered",
+		XLabel:    "clients",
+		YLabel:    "bandwidth (hops)",
+		Metric:    "bandwidth",
+		Protocols: protocols,
+		Rows:      rows,
+	}
+	return latency, bandwidth, nil
+}
+
+// LossSweep reproduces Figures 7 and 8: a fixed topology across loss rates.
+type LossSweep struct {
+	// Routers is the fixed backbone size (the paper: 500).
+	Routers int
+	// LossPcts are the per-link loss probabilities in percent
+	// (the paper: 2,4,…,20).
+	LossPcts []float64
+	// Protocols to compare; nil means PaperProtocols.
+	Protocols []string
+	Packets   int
+	Interval  float64
+	// Replicates averages this many traffic seeds per cell.
+	Replicates int
+	BaseSeed   uint64
+}
+
+// PaperFigure78 returns the sweep matching the paper's setup: n=500,
+// p ∈ {2,4,…,20}%.
+func PaperFigure78() LossSweep {
+	return LossSweep{
+		Routers:    500,
+		LossPcts:   []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20},
+		Packets:    100,
+		Interval:   50,
+		Replicates: 1,
+		BaseSeed:   2003,
+	}
+}
+
+// Run executes the sweep and returns the latency figure (Figure 7) and the
+// bandwidth figure (Figure 8).
+func (l LossSweep) Run() (latency, bandwidth *Figure, err error) {
+	protocols := l.Protocols
+	if protocols == nil {
+		protocols = PaperProtocols
+	}
+	reps := l.Replicates
+	if reps < 1 {
+		reps = 1
+	}
+	var rows []Row
+	for li, pct := range l.LossPcts {
+		row := Row{X: pct, Label: fmt.Sprintf("p=%g%%", pct), Points: map[string]Point{}}
+		for _, proto := range protocols {
+			var agg Point
+			for rep := 0; rep < reps; rep++ {
+				res, rerr := Run(RunSpec{
+					Routers:  l.Routers,
+					Loss:     pct / 100,
+					Protocol: proto,
+					Packets:  l.Packets,
+					Interval: l.Interval,
+					// One fixed topology for the whole sweep (the paper
+					// reports n=500 generating k=208 clients once).
+					TopoSeed: l.BaseSeed,
+					SimSeed:  l.BaseSeed + uint64(li)*100 + uint64(rep) + 1,
+				})
+				if rerr != nil {
+					return nil, nil, fmt.Errorf("p=%g%% %s rep %d: %w", pct, proto, rep, rerr)
+				}
+				p := Point{
+					Latency:    res.AvgLatency(),
+					Bandwidth:  res.BandwidthPerRecovery(),
+					Losses:     res.Stats.Losses,
+					Clients:    res.Clients,
+					LatSamples: []float64{res.AvgLatency()},
+					BwSamples:  []float64{res.BandwidthPerRecovery()},
+				}
+				if rep == 0 {
+					agg = p
+				} else {
+					agg.merge(p)
+				}
+			}
+			row.Points[proto] = agg
+		}
+		rows = append(rows, row)
+	}
+	latency = &Figure{
+		Name:      "Figure 7: average delay per packet recovered vs loss",
+		XLabel:    "per-link loss (%)",
+		YLabel:    "latency (ms)",
+		Metric:    "latency",
+		Protocols: protocols,
+		Rows:      rows,
+	}
+	bandwidth = &Figure{
+		Name:      "Figure 8: average bandwidth usage per packet recovered vs loss",
+		XLabel:    "per-link loss (%)",
+		YLabel:    "bandwidth (hops)",
+		Metric:    "bandwidth",
+		Protocols: protocols,
+		Rows:      rows,
+	}
+	return latency, bandwidth, nil
+}
+
+// AblationSweep compares RP variants (and the source floor) on one
+// topology/loss setting — DESIGN.md experiment E7.
+type AblationSweep struct {
+	Routers    int
+	LossPcts   []float64
+	Packets    int
+	Interval   float64
+	Replicates int
+	BaseSeed   uint64
+}
+
+// PaperAblation returns the default ablation: n=300, p ∈ {5, 15}%.
+func PaperAblation() AblationSweep {
+	return AblationSweep{
+		Routers:    300,
+		LossPcts:   []float64{5, 15},
+		Packets:    100,
+		Interval:   50,
+		Replicates: 1,
+		BaseSeed:   2003,
+	}
+}
+
+// Run executes the ablation and returns latency and bandwidth figures over
+// the RP variants.
+func (a AblationSweep) Run() (latency, bandwidth *Figure, err error) {
+	ls := LossSweep{
+		Routers:    a.Routers,
+		LossPcts:   a.LossPcts,
+		Protocols:  AblationProtocols,
+		Packets:    a.Packets,
+		Interval:   a.Interval,
+		Replicates: a.Replicates,
+		BaseSeed:   a.BaseSeed,
+	}
+	latency, bandwidth, err = ls.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	latency.Name = "Ablation: RP variants, latency"
+	bandwidth.Name = "Ablation: RP variants, bandwidth"
+	return latency, bandwidth, nil
+}

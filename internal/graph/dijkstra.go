@@ -1,0 +1,202 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ShortestPaths holds a single-source shortest-path tree computed by
+// Dijkstra. It mirrors BFSResult but with float64 distances.
+type ShortestPaths struct {
+	Source     NodeID
+	Dist       []float64 // +Inf where unreachable
+	Parent     []NodeID
+	ParentEdge []EdgeID
+}
+
+// WeightFunc maps an edge to its traversal cost. It must return a
+// non-negative, finite value for every edge it is asked about.
+type WeightFunc func(EdgeID) float64
+
+// DefaultWeights returns a WeightFunc that reads the weight stored on each
+// edge of g.
+func DefaultWeights(g *Undirected) WeightFunc {
+	return func(id EdgeID) float64 { return g.Edge(id).Weight }
+}
+
+// spItem is one binary-heap entry for Dijkstra. Lazily-deleted duplicates
+// are cheaper than a decrease-key heap at the sizes we run (≤ a few thousand
+// nodes).
+type spItem struct {
+	dist float64
+	node NodeID
+}
+
+type spHeap []spItem
+
+func (h spHeap) Len() int            { return len(h) }
+func (h spHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spItem)) }
+func (h *spHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths from src using the given
+// weight function (nil means the edges' stored weights). Negative weights
+// cause a panic: the routing substrate only ever uses link delays, which are
+// strictly positive.
+func Dijkstra(g *Undirected, src NodeID, w WeightFunc) *ShortestPaths {
+	if w == nil {
+		w = DefaultWeights(g)
+	}
+	n := g.NumNodes()
+	res := &ShortestPaths{
+		Source:     src,
+		Dist:       make([]float64, n),
+		Parent:     make([]NodeID, n),
+		ParentEdge: make([]EdgeID, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+		res.Parent[i] = None
+		res.ParentEdge[i] = NoEdge
+	}
+	res.Dist[src] = 0
+	done := make([]bool, n)
+	h := &spHeap{{0, src}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(spItem)
+		u := it.node
+		if done[u] {
+			continue // stale duplicate
+		}
+		done[u] = true
+		for _, half := range g.Neighbors(u) {
+			cost := w(half.Edge)
+			if cost < 0 {
+				panic("graph: Dijkstra given negative edge weight")
+			}
+			nd := it.dist + cost
+			if nd < res.Dist[half.Peer] {
+				res.Dist[half.Peer] = nd
+				res.Parent[half.Peer] = u
+				res.ParentEdge[half.Peer] = half.Edge
+				heap.Push(h, spItem{nd, half.Peer})
+			}
+		}
+	}
+	return res
+}
+
+// PathTo reconstructs the node path Source→target. Nil if unreachable.
+func (r *ShortestPaths) PathTo(target NodeID) []NodeID {
+	if math.IsInf(r.Dist[target], 1) {
+		return nil
+	}
+	var path []NodeID
+	for v := target; v != None; v = r.Parent[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// EdgePathTo reconstructs the edge path Source→target. Nil if unreachable;
+// empty (non-nil) if target == Source.
+func (r *ShortestPaths) EdgePathTo(target NodeID) []EdgeID {
+	if math.IsInf(r.Dist[target], 1) {
+		return nil
+	}
+	path := []EdgeID{}
+	for v := target; r.Parent[v] != None; v = r.Parent[v] {
+		path = append(path, r.ParentEdge[v])
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// DAGShortestPaths computes single-source shortest paths in a directed
+// acyclic graph by relaxing arcs in topological order. order must be a
+// topological order of every node reachable from src (extra nodes are
+// harmless). This is the O(V+E) primitive underlying the paper's
+// Algorithm 1; the specialised, pruned version lives in internal/core.
+func DAGShortestPaths(d *Digraph, src NodeID, order []NodeID) ([]float64, []NodeID) {
+	n := d.NumNodes()
+	dist := make([]float64, n)
+	parent := make([]NodeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = None
+	}
+	dist[src] = 0
+	for _, u := range order {
+		if math.IsInf(dist[u], 1) {
+			continue
+		}
+		for _, a := range d.Out(u) {
+			if nd := dist[u] + a.W; nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+			}
+		}
+	}
+	return dist, parent
+}
+
+// TopologicalOrder returns a topological order of d, or nil if d has a
+// cycle. Kahn's algorithm; ties are broken by ascending node ID so the
+// result is deterministic.
+func TopologicalOrder(d *Digraph) []NodeID {
+	n := d.NumNodes()
+	indeg := make([]int32, n)
+	for u := NodeID(0); int(u) < n; u++ {
+		for _, a := range d.Out(u) {
+			indeg[a.To]++
+		}
+	}
+	// Min-heap on node ID for determinism.
+	h := &nodeHeap{}
+	for u := NodeID(0); int(u) < n; u++ {
+		if indeg[u] == 0 {
+			heap.Push(h, u)
+		}
+	}
+	order := make([]NodeID, 0, n)
+	for h.Len() > 0 {
+		u := heap.Pop(h).(NodeID)
+		order = append(order, u)
+		for _, a := range d.Out(u) {
+			indeg[a.To]--
+			if indeg[a.To] == 0 {
+				heap.Push(h, a.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil
+	}
+	return order
+}
+
+type nodeHeap []NodeID
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(NodeID)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,188 @@
+// Package graph provides the graph substrate used by the topology generator,
+// the unicast routing tables, and the RP strategy computation: an undirected
+// weighted graph with stable edge identifiers, a small directed graph, and
+// the classic algorithms the paper relies on (BFS, Dijkstra, minimum and
+// random spanning trees, DAG shortest paths).
+//
+// Node identifiers are dense integers in [0, N); edge identifiers are dense
+// integers in [0, M). Dense IDs keep every algorithm allocation-light and
+// make per-link attributes (delay, loss probability) trivially attachable as
+// parallel slices, which matters once the simulator is pushing millions of
+// per-packet loss draws through the hot path.
+package graph
+
+import "fmt"
+
+// NodeID identifies a node within a graph. IDs are dense: a graph with N
+// nodes uses IDs 0..N-1.
+type NodeID int32
+
+// None is the sentinel for "no node" (absent parent, unreachable, …).
+const None NodeID = -1
+
+// EdgeID identifies an undirected edge within a graph. IDs are dense.
+type EdgeID int32
+
+// NoEdge is the sentinel for "no edge".
+const NoEdge EdgeID = -1
+
+// Edge is one undirected edge. A and B are its endpoints; Weight is the
+// default metric used by algorithms when the caller does not supply one.
+type Edge struct {
+	A, B   NodeID
+	Weight float64
+}
+
+// Other returns the endpoint of e opposite to n. It panics if n is not an
+// endpoint of e.
+func (e Edge) Other(n NodeID) NodeID {
+	switch n {
+	case e.A:
+		return e.B
+	case e.B:
+		return e.A
+	}
+	panic(fmt.Sprintf("graph: node %d is not an endpoint of edge %v", n, e))
+}
+
+// Half is one directed half of an undirected edge as seen from the adjacency
+// list of its origin node.
+type Half struct {
+	Edge EdgeID
+	Peer NodeID
+}
+
+// Undirected is an undirected weighted graph. The zero value is an empty
+// graph with no nodes; use New to create a graph with a fixed node count.
+type Undirected struct {
+	n     int
+	edges []Edge
+	adj   [][]Half
+}
+
+// New returns an undirected graph with n nodes and no edges.
+func New(n int) *Undirected {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Undirected{n: n, adj: make([][]Half, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (g *Undirected) NumNodes() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Undirected) NumEdges() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge between a and b with the given default
+// weight and returns its EdgeID. Self-loops are rejected; parallel edges are
+// permitted (the topology ghost-node transform can create them transiently).
+func (g *Undirected) AddEdge(a, b NodeID, w float64) EdgeID {
+	if a == b {
+		panic("graph: self-loop")
+	}
+	g.checkNode(a)
+	g.checkNode(b)
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{A: a, B: b, Weight: w})
+	g.adj[a] = append(g.adj[a], Half{Edge: id, Peer: b})
+	g.adj[b] = append(g.adj[b], Half{Edge: id, Peer: a})
+	return id
+}
+
+// AddNode appends a fresh node and returns its ID.
+func (g *Undirected) AddNode() NodeID {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return NodeID(g.n - 1)
+}
+
+// Edge returns the edge with the given ID.
+func (g *Undirected) Edge(id EdgeID) Edge { return g.edges[id] }
+
+// Edges returns the underlying edge slice. Callers must not mutate it.
+func (g *Undirected) Edges() []Edge { return g.edges }
+
+// SetWeight updates the default weight of an edge.
+func (g *Undirected) SetWeight(id EdgeID, w float64) { g.edges[id].Weight = w }
+
+// Neighbors returns the adjacency list of n. Callers must not mutate it.
+func (g *Undirected) Neighbors(n NodeID) []Half { return g.adj[n] }
+
+// Degree returns the number of incident edges of n.
+func (g *Undirected) Degree(n NodeID) int { return len(g.adj[n]) }
+
+// HasEdgeBetween reports whether at least one edge joins a and b.
+func (g *Undirected) HasEdgeBetween(a, b NodeID) bool {
+	// Scan the smaller adjacency list.
+	if len(g.adj[a]) > len(g.adj[b]) {
+		a, b = b, a
+	}
+	for _, h := range g.adj[a] {
+		if h.Peer == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Undirected) checkNode(n NodeID) {
+	if n < 0 || int(n) >= g.n {
+		panic(fmt.Sprintf("graph: node %d out of range [0,%d)", n, g.n))
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Undirected) Clone() *Undirected {
+	c := &Undirected{n: g.n}
+	c.edges = append([]Edge(nil), g.edges...)
+	c.adj = make([][]Half, g.n)
+	for i, hs := range g.adj {
+		c.adj[i] = append([]Half(nil), hs...)
+	}
+	return c
+}
+
+// Digraph is a small directed weighted graph, used for the RP strategy graph
+// and as the target of the DAG shortest-path routine.
+type Digraph struct {
+	n   int
+	out [][]Arc
+}
+
+// Arc is one directed edge.
+type Arc struct {
+	To NodeID
+	W  float64
+}
+
+// NewDigraph returns a directed graph with n nodes and no arcs.
+func NewDigraph(n int) *Digraph {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Digraph{n: n, out: make([][]Arc, n)}
+}
+
+// NumNodes returns the number of nodes.
+func (d *Digraph) NumNodes() int { return d.n }
+
+// AddArc inserts a directed edge from a to b with weight w.
+func (d *Digraph) AddArc(a, b NodeID, w float64) {
+	if a < 0 || int(a) >= d.n || b < 0 || int(b) >= d.n {
+		panic("graph: arc endpoint out of range")
+	}
+	d.out[a] = append(d.out[a], Arc{To: b, W: w})
+}
+
+// Out returns the outgoing arcs of n. Callers must not mutate it.
+func (d *Digraph) Out(n NodeID) []Arc { return d.out[n] }
+
+// NumArcs returns the total number of arcs.
+func (d *Digraph) NumArcs() int {
+	total := 0
+	for _, a := range d.out {
+		total += len(a)
+	}
+	return total
+}

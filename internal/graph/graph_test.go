@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"rmcast/internal/rng"
+)
+
+// grid builds a w×h grid graph with unit weights; handy because its
+// shortest-path structure is known in closed form.
+func grid(w, h int) *Undirected {
+	g := New(w * h)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+			if y+1 < h {
+				g.AddEdge(id(x, y), id(x, y+1), 1)
+			}
+		}
+	}
+	return g
+}
+
+// randomConnected builds a random connected graph: a random tree plus extra
+// random edges, with weights in [1, 10).
+func randomConnected(n, extra int, r *rng.Rand) *Undirected {
+	g := New(n)
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		a := NodeID(perm[i])
+		b := NodeID(perm[r.Intn(i)])
+		g.AddEdge(a, b, r.Uniform(1, 10))
+	}
+	for i := 0; i < extra; i++ {
+		a := NodeID(r.Intn(n))
+		b := NodeID(r.Intn(n))
+		if a != b && !g.HasEdgeBetween(a, b) {
+			g.AddEdge(a, b, r.Uniform(1, 10))
+		}
+	}
+	return g
+}
+
+func TestAddEdgeAndNeighbors(t *testing.T) {
+	g := New(3)
+	e := g.AddEdge(0, 1, 2.5)
+	if g.NumEdges() != 1 || g.Edge(e).Weight != 2.5 {
+		t.Fatalf("edge not stored correctly: %+v", g.Edge(e))
+	}
+	if g.Degree(0) != 1 || g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Fatal("degrees wrong after AddEdge")
+	}
+	if !g.HasEdgeBetween(0, 1) || !g.HasEdgeBetween(1, 0) {
+		t.Fatal("HasEdgeBetween should be symmetric")
+	}
+	if g.HasEdgeBetween(0, 2) {
+		t.Fatal("phantom edge reported")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{A: 3, B: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other returned wrong endpoint")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Other on non-endpoint did not panic")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-loop did not panic")
+		}
+	}()
+	New(2).AddEdge(1, 1, 1)
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2)
+	id := g.AddNode()
+	if id != 2 || g.NumNodes() != 3 {
+		t.Fatalf("AddNode returned %d, NumNodes %d", id, g.NumNodes())
+	}
+	g.AddEdge(2, 0, 1)
+	if !g.HasEdgeBetween(2, 0) {
+		t.Fatal("edge to added node missing")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	c := g.Clone()
+	c.AddEdge(1, 2, 1)
+	c.SetWeight(0, 99)
+	if g.NumEdges() != 1 || g.Edge(0).Weight != 1 {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestBFSGrid(t *testing.T) {
+	g := grid(4, 3)
+	res := BFS(g, 0)
+	// Manhattan distance on a grid.
+	for y := 0; y < 3; y++ {
+		for x := 0; x < 4; x++ {
+			want := int32(x + y)
+			if res.Dist[y*4+x] != want {
+				t.Fatalf("dist[%d,%d] = %d, want %d", x, y, res.Dist[y*4+x], want)
+			}
+		}
+	}
+	if res.Parent[0] != None || res.ParentEdge[0] != NoEdge {
+		t.Fatal("source parent should be None")
+	}
+	path := res.PathTo(11)
+	if len(path) != int(res.Dist[11])+1 || path[0] != 0 || path[len(path)-1] != 11 {
+		t.Fatalf("bad BFS path %v", path)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	res := BFS(g, 0)
+	if res.Dist[2] != -1 || res.Dist[3] != -1 {
+		t.Fatal("unreachable nodes should have dist -1")
+	}
+	if res.PathTo(3) != nil {
+		t.Fatal("PathTo unreachable should be nil")
+	}
+}
+
+func TestConnectedAndComponents(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 4, 1)
+	if Connected(g) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	comp, n := Components(g)
+	if n != 2 {
+		t.Fatalf("got %d components, want 2", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] || comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Fatalf("bad component labels %v", comp)
+	}
+	g.AddEdge(2, 3, 1)
+	if !Connected(g) {
+		t.Fatal("connected graph reported disconnected")
+	}
+	if Connected(New(0)) != true {
+		t.Fatal("empty graph should be connected")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	r := rng.New(101)
+	for trial := 0; trial < 20; trial++ {
+		g := randomConnected(60, 60, r)
+		// Force unit weights.
+		unit := func(EdgeID) float64 { return 1 }
+		src := NodeID(r.Intn(g.NumNodes()))
+		bfs := BFS(g, src)
+		sp := Dijkstra(g, src, unit)
+		for v := 0; v < g.NumNodes(); v++ {
+			if float64(bfs.Dist[v]) != sp.Dist[v] {
+				t.Fatalf("trial %d: dist mismatch at %d: bfs %d dijkstra %v",
+					trial, v, bfs.Dist[v], sp.Dist[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraKnownGraph(t *testing.T) {
+	//     1
+	//  0 --- 1
+	//  |      \
+	//  4       1
+	//  |        \
+	//  2 --- 1 -- 3
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 4)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	sp := Dijkstra(g, 0, nil)
+	want := []float64{0, 1, 3, 2}
+	for v, d := range want {
+		if sp.Dist[v] != d {
+			t.Fatalf("dist[%d] = %v, want %v", v, sp.Dist[v], d)
+		}
+	}
+	if p := sp.PathTo(2); len(p) != 4 || p[0] != 0 || p[1] != 1 || p[2] != 3 || p[3] != 2 {
+		t.Fatalf("bad path to 2: %v", p)
+	}
+	ep := sp.EdgePathTo(2)
+	if len(ep) != 3 {
+		t.Fatalf("bad edge path %v", ep)
+	}
+	if ep2 := sp.EdgePathTo(0); ep2 == nil || len(ep2) != 0 {
+		t.Fatalf("edge path to source should be empty non-nil, got %v", ep2)
+	}
+}
+
+func TestDijkstraUnreachableIsInf(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	sp := Dijkstra(g, 0, nil)
+	if !math.IsInf(sp.Dist[2], 1) {
+		t.Fatal("unreachable node should have +Inf dist")
+	}
+	if sp.PathTo(2) != nil || sp.EdgePathTo(2) != nil {
+		t.Fatal("paths to unreachable node should be nil")
+	}
+}
+
+func TestDijkstraNegativeWeightPanics(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, -1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	Dijkstra(g, 0, nil)
+}
+
+// pathsAreOptimal checks the shortest-path tree triangle condition:
+// dist[v] <= dist[u] + w(u,v) for every edge, with equality along tree edges.
+func TestDijkstraOptimalityCondition(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 10; trial++ {
+		g := randomConnected(80, 120, r)
+		sp := Dijkstra(g, 0, nil)
+		for _, e := range g.Edges() {
+			if sp.Dist[e.B] > sp.Dist[e.A]+e.Weight+1e-12 ||
+				sp.Dist[e.A] > sp.Dist[e.B]+e.Weight+1e-12 {
+				t.Fatalf("triangle violation on edge %+v", e)
+			}
+		}
+		for v := 1; v < g.NumNodes(); v++ {
+			u := sp.Parent[v]
+			if u == None {
+				t.Fatalf("connected graph has orphan node %d", v)
+			}
+			w := g.Edge(sp.ParentEdge[v]).Weight
+			if math.Abs(sp.Dist[v]-(sp.Dist[u]+w)) > 1e-9 {
+				t.Fatalf("tree edge not tight at %d", v)
+			}
+		}
+	}
+}

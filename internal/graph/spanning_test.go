@@ -1,0 +1,272 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"rmcast/internal/rng"
+)
+
+func treeWeight(g *Undirected, edges []EdgeID) float64 {
+	var sum float64
+	for _, id := range edges {
+		sum += g.Edge(id).Weight
+	}
+	return sum
+}
+
+// isSpanningTree verifies |E| = |V|-1 and connectivity of the edge subset.
+func isSpanningTree(g *Undirected, edges []EdgeID) bool {
+	if len(edges) != g.NumNodes()-1 {
+		return false
+	}
+	uf := NewUnionFind(g.NumNodes())
+	for _, id := range edges {
+		e := g.Edge(id)
+		if !uf.Union(int32(e.A), int32(e.B)) {
+			return false // cycle
+		}
+	}
+	return uf.Sets() == 1
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatal("fresh union-find should have n sets")
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("fresh unions should succeed")
+	}
+	if uf.Union(0, 2) {
+		t.Fatal("redundant union should fail")
+	}
+	if uf.Find(0) != uf.Find(2) || uf.Find(0) == uf.Find(3) {
+		t.Fatal("Find inconsistent with unions")
+	}
+	if uf.Sets() != 3 {
+		t.Fatalf("Sets() = %d, want 3", uf.Sets())
+	}
+}
+
+func TestMSTKnownGraph(t *testing.T) {
+	// Classic 4-cycle with a chord: MST weight = 1+2+3 = 6.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(3, 0, 4)
+	g.AddEdge(0, 2, 5)
+	for name, tree := range map[string][]EdgeID{
+		"kruskal": MSTKruskal(g, nil),
+		"prim":    MSTPrim(g, 0, nil),
+	} {
+		if !isSpanningTree(g, tree) {
+			t.Fatalf("%s: not a spanning tree: %v", name, tree)
+		}
+		if w := treeWeight(g, tree); w != 6 {
+			t.Fatalf("%s: weight %v, want 6", name, w)
+		}
+	}
+}
+
+func TestPrimKruskalAgreeOnWeight(t *testing.T) {
+	r := rng.New(555)
+	for trial := 0; trial < 25; trial++ {
+		g := New(40)
+		// Random tree plus chords, distinct-ish weights.
+		perm := r.Perm(40)
+		for i := 1; i < 40; i++ {
+			g.AddEdge(NodeID(perm[i]), NodeID(perm[r.Intn(i)]), r.Uniform(1, 100))
+		}
+		for i := 0; i < 60; i++ {
+			a, b := NodeID(r.Intn(40)), NodeID(r.Intn(40))
+			if a != b {
+				g.AddEdge(a, b, r.Uniform(1, 100))
+			}
+		}
+		k := MSTKruskal(g, nil)
+		p := MSTPrim(g, 0, nil)
+		if !isSpanningTree(g, k) || !isSpanningTree(g, p) {
+			t.Fatalf("trial %d: non-spanning MST", trial)
+		}
+		if math.Abs(treeWeight(g, k)-treeWeight(g, p)) > 1e-9 {
+			t.Fatalf("trial %d: MST weights differ: %v vs %v",
+				trial, treeWeight(g, k), treeWeight(g, p))
+		}
+	}
+}
+
+func TestMSTKruskalForest(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 2)
+	f := MSTKruskal(g, nil)
+	if len(f) != 2 {
+		t.Fatalf("forest should have 2 edges, got %v", f)
+	}
+}
+
+func TestRandomSpanningTreeIsSpanning(t *testing.T) {
+	r := rng.New(321)
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + r.Intn(50)
+		g := New(n)
+		perm := r.Perm(n)
+		for i := 1; i < n; i++ {
+			g.AddEdge(NodeID(perm[i]), NodeID(perm[r.Intn(i)]), 1)
+		}
+		for i := 0; i < n; i++ {
+			a, b := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+			if a != b && !g.HasEdgeBetween(a, b) {
+				g.AddEdge(a, b, 1)
+			}
+		}
+		tree := RandomSpanningTree(g, r)
+		if !isSpanningTree(g, tree) {
+			t.Fatalf("trial %d: Wilson output is not a spanning tree", trial)
+		}
+	}
+}
+
+func TestRandomSpanningTreeUniformOnTriangle(t *testing.T) {
+	// A triangle has exactly 3 spanning trees; Wilson's algorithm must pick
+	// each with probability 1/3.
+	g := New(3)
+	g.AddEdge(0, 1, 1) // tree "missing edge 2"
+	g.AddEdge(1, 2, 1) // ...
+	g.AddEdge(2, 0, 1)
+	r := rng.New(9)
+	counts := map[EdgeID]int{}
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		tree := RandomSpanningTree(g, r)
+		present := map[EdgeID]bool{}
+		for _, e := range tree {
+			present[e] = true
+		}
+		for id := EdgeID(0); id < 3; id++ {
+			if !present[id] {
+				counts[id]++
+			}
+		}
+	}
+	for id, c := range counts {
+		got := float64(c) / trials
+		if math.Abs(got-1.0/3) > 0.02 {
+			t.Fatalf("missing-edge %d frequency %v, want ~1/3", id, got)
+		}
+	}
+}
+
+func TestSpanningSubgraph(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 6)
+	g.AddEdge(2, 3, 7)
+	g.AddEdge(3, 0, 8)
+	sub := SpanningSubgraph(g, []EdgeID{0, 2})
+	if sub.NumNodes() != 4 || sub.NumEdges() != 2 {
+		t.Fatalf("subgraph shape wrong: %d nodes %d edges", sub.NumNodes(), sub.NumEdges())
+	}
+	if !sub.HasEdgeBetween(0, 1) || !sub.HasEdgeBetween(2, 3) || sub.HasEdgeBetween(1, 2) {
+		t.Fatal("subgraph edges wrong")
+	}
+	if sub.Edge(0).Weight != 5 || sub.Edge(1).Weight != 7 {
+		t.Fatal("subgraph weights not preserved")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	d := NewDigraph(5)
+	d.AddArc(0, 1, 1)
+	d.AddArc(0, 2, 1)
+	d.AddArc(1, 3, 1)
+	d.AddArc(2, 3, 1)
+	d.AddArc(3, 4, 1)
+	order := TopologicalOrder(d)
+	if order == nil {
+		t.Fatal("acyclic digraph reported cyclic")
+	}
+	pos := make(map[NodeID]int)
+	for i, u := range order {
+		pos[u] = i
+	}
+	for u := NodeID(0); int(u) < 5; u++ {
+		for _, a := range d.Out(u) {
+			if pos[u] >= pos[a.To] {
+				t.Fatalf("order violates arc %d→%d", u, a.To)
+			}
+		}
+	}
+}
+
+func TestTopologicalOrderDetectsCycle(t *testing.T) {
+	d := NewDigraph(3)
+	d.AddArc(0, 1, 1)
+	d.AddArc(1, 2, 1)
+	d.AddArc(2, 0, 1)
+	if TopologicalOrder(d) != nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestDAGShortestPaths(t *testing.T) {
+	// Diamond with a cheaper lower path.
+	d := NewDigraph(4)
+	d.AddArc(0, 1, 1)
+	d.AddArc(0, 2, 5)
+	d.AddArc(1, 3, 1)
+	d.AddArc(2, 3, 1)
+	d.AddArc(0, 3, 10)
+	dist, parent := DAGShortestPaths(d, 0, TopologicalOrder(d))
+	if dist[3] != 2 || parent[3] != 1 || parent[1] != 0 {
+		t.Fatalf("DAG SP wrong: dist %v parent %v", dist, parent)
+	}
+}
+
+func TestDAGShortestPathsMatchesDijkstra(t *testing.T) {
+	// Random DAG (arcs only low→high ID); compare with Dijkstra run on an
+	// equivalent undirected simulation via brute-force relaxation.
+	r := rng.New(4242)
+	for trial := 0; trial < 20; trial++ {
+		n := 30
+		d := NewDigraph(n)
+		type arc struct {
+			a, b NodeID
+			w    float64
+		}
+		var arcs []arc
+		for i := 0; i < 120; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a == b {
+				continue
+			}
+			if a > b {
+				a, b = b, a
+			}
+			w := r.Uniform(0, 10)
+			d.AddArc(NodeID(a), NodeID(b), w)
+			arcs = append(arcs, arc{NodeID(a), NodeID(b), w})
+		}
+		dist, _ := DAGShortestPaths(d, 0, TopologicalOrder(d))
+		// Bellman–Ford reference.
+		ref := make([]float64, n)
+		for i := range ref {
+			ref[i] = math.Inf(1)
+		}
+		ref[0] = 0
+		for iter := 0; iter < n; iter++ {
+			for _, a := range arcs {
+				if nd := ref[a.a] + a.w; nd < ref[a.b] {
+					ref[a.b] = nd
+				}
+			}
+		}
+		for v := 0; v < n; v++ {
+			if math.Abs(dist[v]-ref[v]) > 1e-9 && !(math.IsInf(dist[v], 1) && math.IsInf(ref[v], 1)) {
+				t.Fatalf("trial %d: dist[%d] = %v, ref %v", trial, v, dist[v], ref[v])
+			}
+		}
+	}
+}

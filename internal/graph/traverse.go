@@ -1,0 +1,92 @@
+package graph
+
+// BFSResult holds the outcome of a breadth-first traversal: hop counts and
+// the BFS tree expressed as parent pointers.
+type BFSResult struct {
+	Source     NodeID
+	Dist       []int32  // hop count from Source; -1 if unreachable
+	Parent     []NodeID // BFS-tree parent; None for Source and unreachable nodes
+	ParentEdge []EdgeID // edge to parent; NoEdge where Parent is None
+	Order      []NodeID // visit order (Source first)
+}
+
+// BFS performs a breadth-first traversal from src over unit edge costs.
+func BFS(g *Undirected, src NodeID) *BFSResult {
+	n := g.NumNodes()
+	res := &BFSResult{
+		Source:     src,
+		Dist:       make([]int32, n),
+		Parent:     make([]NodeID, n),
+		ParentEdge: make([]EdgeID, n),
+		Order:      make([]NodeID, 0, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = None
+		res.ParentEdge[i] = NoEdge
+	}
+	res.Dist[src] = 0
+	queue := make([]NodeID, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		res.Order = append(res.Order, u)
+		for _, h := range g.Neighbors(u) {
+			if res.Dist[h.Peer] == -1 {
+				res.Dist[h.Peer] = res.Dist[u] + 1
+				res.Parent[h.Peer] = u
+				res.ParentEdge[h.Peer] = h.Edge
+				queue = append(queue, h.Peer)
+			}
+		}
+	}
+	return res
+}
+
+// Connected reports whether g has a single connected component. The empty
+// graph is considered connected.
+func Connected(g *Undirected) bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	return len(BFS(g, 0).Order) == g.NumNodes()
+}
+
+// Components returns a component label per node (labels are dense, starting
+// at 0) and the number of components.
+func Components(g *Undirected) ([]int32, int) {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	for s := NodeID(0); int(s) < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		for _, u := range BFS(g, s).Order {
+			comp[u] = next
+		}
+		next++
+	}
+	return comp, int(next)
+}
+
+// PathTo reconstructs the node path Source→target from a BFS result.
+// It returns nil if target is unreachable.
+func (r *BFSResult) PathTo(target NodeID) []NodeID {
+	if r.Dist[target] == -1 {
+		return nil
+	}
+	path := make([]NodeID, 0, r.Dist[target]+1)
+	for v := target; v != None; v = r.Parent[v] {
+		path = append(path, v)
+	}
+	// Reverse in place: collected target→source.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,289 @@
+// Package lsr implements a distributed link-state routing substrate in the
+// style of OSPF, which §3.1 of the paper names as the source of its one-way
+// delay estimates ("if the routing algorithm used is OSPF and the network
+// uses link-delay as link cost, then the routing table will give an
+// estimate of one-way delay").
+//
+// Unlike route.Tables — the omniscient oracle that reads true link delays —
+// lsr runs the actual protocol machinery over the discrete-event engine:
+//
+//  1. every node measures the cost of its incident links by timing a HELLO
+//     exchange; measurements carry configurable relative noise, and the two
+//     endpoints of a link measure independently (so advertised costs are
+//     asymmetric, as in real deployments);
+//  2. every node originates a link-state advertisement (LSA) describing its
+//     incident links and floods it; receivers store-and-forward LSAs they
+//     have not seen (sequence-number dedup), paying real per-link delays;
+//  3. once flooding quiesces, every node holds the same link-state database
+//     and computes consistent shortest paths over the advertised directed
+//     costs.
+//
+// The resulting Routing implements route.Router, so the planner and the
+// protocol engines can run on estimated state — the substrate behind the
+// estimation-noise robustness experiments (BenchmarkEstimationNoise).
+package lsr
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+	"rmcast/internal/sim"
+	"rmcast/internal/topology"
+)
+
+// Config parameterises the protocol run.
+type Config struct {
+	// Noise is the relative amplitude of HELLO measurement error: each
+	// directed link cost is Delay·(1 + Noise·U[−1,1)), floored at a small
+	// positive epsilon. Zero reproduces the oracle's metric exactly.
+	Noise float64
+}
+
+// Stats reports the cost of convergence.
+type Stats struct {
+	// LSAs is the number of distinct advertisements originated.
+	LSAs int
+	// Messages is the number of LSA transmissions (store-and-forward
+	// copies), and Hops the link crossings they consumed (equal here:
+	// each transmission crosses exactly one link).
+	Messages int64
+	// ConvergenceMs is the simulated time until flooding quiesced.
+	ConvergenceMs float64
+}
+
+// Routing is the converged link-state routing state. It implements
+// route.Router over the advertised (noisy, asymmetric) costs.
+type Routing struct {
+	topo *topology.Network
+	// cost[linkID][0] is the A→B advertised cost; [1] is B→A.
+	cost [][2]float64
+	// per-destination reverse shortest-path state, built lazily.
+	dist    map[graph.NodeID][]float64
+	nextHop map[graph.NodeID][]graph.NodeID
+	nextVia map[graph.NodeID][]graph.EdgeID
+}
+
+// Converge runs measurement and flooding over a fresh event engine and
+// returns the converged routing state. It panics only on internal
+// inconsistencies; disconnected topologies surface as unreachable routes.
+func Converge(topo *topology.Network, cfg Config, r *rng.Rand) (*Routing, *Stats) {
+	n := topo.NumNodes()
+	eng := sim.NewEngine()
+	st := &Stats{LSAs: n}
+
+	// 1. HELLO measurement: each endpoint measures its own outgoing cost.
+	cost := make([][2]float64, topo.NumLinks())
+	measure := func(true_ float64) float64 {
+		c := true_ * (1 + cfg.Noise*r.Uniform(-1, 1))
+		if c < 1e-6 {
+			c = 1e-6
+		}
+		return c
+	}
+	for id := range cost {
+		d := topo.Delay[id]
+		cost[id][0] = measure(d) // A→B, measured by A
+		cost[id][1] = measure(d) // B→A, measured by B
+	}
+
+	// 2. Flood each node's LSA (its incident directed costs — the cost
+	// array above is exactly the union of all LSA payloads) with
+	// sequence-number dedup; `seen[node][origin]` marks receipt. A single
+	// origination round suffices for a static topology.
+	seen := make([][]bool, n)
+	for i := range seen {
+		seen[i] = make([]bool, n)
+	}
+	var deliver func(node graph.NodeID, origin graph.NodeID, via graph.EdgeID)
+	forward := func(node graph.NodeID, origin graph.NodeID, except graph.EdgeID) {
+		for _, h := range topo.G.Neighbors(node) {
+			if h.Edge == except {
+				continue
+			}
+			st.Messages++
+			peer, link := h.Peer, h.Edge
+			eng.After(topo.Delay[link], func() { deliver(peer, origin, link) })
+		}
+	}
+	deliver = func(node graph.NodeID, origin graph.NodeID, via graph.EdgeID) {
+		if seen[node][origin] {
+			return
+		}
+		seen[node][origin] = true
+		forward(node, origin, via)
+	}
+	for v := 0; v < n; v++ {
+		seen[v][v] = true
+		forward(graph.NodeID(v), graph.NodeID(v), graph.NoEdge)
+	}
+	eng.Run(0)
+	st.ConvergenceMs = eng.Now()
+
+	// Verify full dissemination within each connected component: every
+	// node must know every origin it can reach.
+	comp, _ := graph.Components(topo.G)
+	for v := 0; v < n; v++ {
+		for o := 0; o < n; o++ {
+			if comp[v] == comp[o] && !seen[v][o] {
+				panic(fmt.Sprintf("lsr: node %d missed LSA of %d after convergence", v, o))
+			}
+		}
+	}
+
+	return &Routing{
+		topo:    topo,
+		cost:    cost,
+		dist:    make(map[graph.NodeID][]float64),
+		nextHop: make(map[graph.NodeID][]graph.NodeID),
+		nextVia: make(map[graph.NodeID][]graph.EdgeID),
+	}, st
+}
+
+// directedCost returns the advertised cost of traversing link id from node
+// `from` toward its opposite endpoint.
+func (rt *Routing) directedCost(id graph.EdgeID, from graph.NodeID) float64 {
+	e := rt.topo.G.Edge(id)
+	if e.A == from {
+		return rt.cost[id][0]
+	}
+	return rt.cost[id][1]
+}
+
+// Prepare computes the reverse shortest-path tree toward destination d over
+// the advertised directed costs: dist[v] is v's estimated cost to reach d,
+// nextHop[v] the neighbour it forwards through. Deterministic tie-breaking
+// (lowest next-hop ID) keeps per-node decisions consistent network-wide.
+func (rt *Routing) Prepare(d graph.NodeID) {
+	if _, ok := rt.dist[d]; ok {
+		return
+	}
+	n := rt.topo.NumNodes()
+	dist := make([]float64, n)
+	next := make([]graph.NodeID, n)
+	via := make([]graph.EdgeID, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		next[i] = graph.None
+		via[i] = graph.NoEdge
+	}
+	dist[d] = 0
+	done := make([]bool, n)
+	h := &lsrHeap{{0, d}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(lsrItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		// Relax v→u for every neighbour v: the path v→u→…→d costs
+		// cost(v over link) + dist[u].
+		for _, half := range rt.topo.G.Neighbors(u) {
+			v := half.Peer
+			c := rt.directedCost(half.Edge, v)
+			nd := it.dist + c
+			switch {
+			case nd < dist[v]:
+			case nd == dist[v] && next[v] != graph.None && u < next[v]:
+				// deterministic tie-break
+			default:
+				continue
+			}
+			dist[v] = nd
+			next[v] = u
+			via[v] = half.Edge
+			heap.Push(h, lsrItem{nd, v})
+		}
+	}
+	rt.dist[d] = dist
+	rt.nextHop[d] = next
+	rt.nextVia[d] = via
+}
+
+type lsrItem struct {
+	dist float64
+	node graph.NodeID
+}
+
+type lsrHeap []lsrItem
+
+func (h lsrHeap) Len() int            { return len(h) }
+func (h lsrHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h lsrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *lsrHeap) Push(x interface{}) { *h = append(*h, x.(lsrItem)) }
+func (h *lsrHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func (rt *Routing) table(d graph.NodeID) []float64 {
+	rt.Prepare(d)
+	return rt.dist[d]
+}
+
+// OneWayDelay implements route.Router: the origin's estimate of its cost to
+// reach b, which with noisy measurement differs from the true delay and
+// from the reverse direction.
+func (rt *Routing) OneWayDelay(a, b graph.NodeID) float64 {
+	return rt.table(b)[a]
+}
+
+// RTT implements route.Router: the sum of the two directed estimates (the
+// paper's "over twice the one-way delay" when costs are symmetric).
+func (rt *Routing) RTT(a, b graph.NodeID) float64 {
+	return rt.OneWayDelay(a, b) + rt.OneWayDelay(b, a)
+}
+
+// NextHop implements route.Router.
+func (rt *Routing) NextHop(cur, dest graph.NodeID) (graph.NodeID, graph.EdgeID) {
+	if cur == dest {
+		return graph.None, graph.NoEdge
+	}
+	rt.Prepare(dest)
+	return rt.nextHop[dest][cur], rt.nextVia[dest][cur]
+}
+
+// Path implements route.Router.
+func (rt *Routing) Path(a, b graph.NodeID) []graph.NodeID {
+	if math.IsInf(rt.table(b)[a], 1) {
+		return nil
+	}
+	path := []graph.NodeID{a}
+	for cur := a; cur != b; {
+		next, _ := rt.NextHop(cur, b)
+		if next == graph.None {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+		if len(path) > rt.topo.NumNodes() {
+			panic("lsr: routing loop")
+		}
+	}
+	return path
+}
+
+// Hops implements route.Router.
+func (rt *Routing) Hops(a, b graph.NodeID) int {
+	p := rt.Path(a, b)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// conformance check
+var _ interface {
+	OneWayDelay(a, b graph.NodeID) float64
+	RTT(a, b graph.NodeID) float64
+	NextHop(cur, dest graph.NodeID) (graph.NodeID, graph.EdgeID)
+	Path(a, b graph.NodeID) []graph.NodeID
+	Hops(a, b graph.NodeID) int
+	Prepare(d graph.NodeID)
+} = (*Routing)(nil)

@@ -1,0 +1,180 @@
+// Package metrics provides the streaming statistics used by the experiment
+// harness: Welford mean/variance summaries (numerically stable over the
+// millions of per-recovery latency samples a sweep produces) and fixed-width
+// histograms for latency distributions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Summary accumulates count, mean, variance (Welford), min and max.
+// The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one observation into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int64 { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// StdErr returns the standard error of the mean.
+func (s *Summary) StdErr() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean.
+func (s *Summary) CI95() float64 { return 1.96 * s.StdErr() }
+
+// Merge folds another summary into s (Chan et al. parallel combination).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	delta := o.mean - s.mean
+	tot := s.n + o.n
+	s.mean += delta * float64(o.n) / float64(tot)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(tot)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = tot
+}
+
+// String formats the summary compactly.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f±%.3f min=%.3f max=%.3f",
+		s.n, s.Mean(), s.CI95(), s.Min(), s.Max())
+}
+
+// Histogram is a fixed-width bucket histogram over [Lo, Hi), with overflow
+// and underflow counters, supporting quantile estimation by linear
+// interpolation within buckets.
+type Histogram struct {
+	Lo, Hi  float64
+	buckets []int64
+	under   int64
+	over    int64
+	n       int64
+}
+
+// NewHistogram creates a histogram with n equal buckets over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("metrics: bad histogram shape")
+	}
+	return &Histogram{Lo: lo, Hi: hi, buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		idx := int(float64(len(h.buckets)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if idx == len(h.buckets) { // x == Hi boundary via rounding
+			idx--
+		}
+		h.buckets[idx]++
+	}
+}
+
+// Count returns the total observation count (including out-of-range).
+func (h *Histogram) Count() int64 { return h.n }
+
+// Bucket returns the count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the bucket count.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
+
+// Quantile estimates the p-quantile (0 ≤ p ≤ 1) by interpolating within
+// buckets. Returns Lo−1 if the quantile falls in the underflow region and
+// Hi+1 for the overflow region; 0 when empty.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.n)
+	cum := float64(h.under)
+	if target <= cum && h.under > 0 {
+		return h.Lo - 1
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.buckets))
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if target <= next {
+			frac := (target - cum) / float64(c)
+			return h.Lo + width*(float64(i)+frac)
+		}
+		cum = next
+	}
+	return h.Hi + 1
+}

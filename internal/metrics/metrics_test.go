@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rmcast/internal/rng"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.Count() != 0 || s.Mean() != 0 || s.Variance() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean %v, want 5", s.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance is
+	// 32/7.
+	if math.Abs(s.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("variance %v, want %v", s.Variance(), 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+	if s.StdErr() <= 0 || s.CI95() <= s.StdErr() {
+		t.Fatal("stderr/CI inconsistent")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Variance() != 0 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Fatal("single-observation stats wrong")
+	}
+}
+
+// TestSummaryMatchesNaive cross-checks Welford against the two-pass formula.
+func TestSummaryMatchesNaive(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(1000)
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = r.Uniform(-100, 100)
+			s.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		v := m2 / float64(n-1)
+		if math.Abs(s.Mean()-mean) > 1e-9 || math.Abs(s.Variance()-v) > 1e-9 {
+			t.Fatalf("trial %d: welford (%v,%v) vs naive (%v,%v)",
+				trial, s.Mean(), s.Variance(), mean, v)
+		}
+	}
+}
+
+// TestSummaryMergeEquivalence: merging partial summaries must equal one
+// combined summary (property-based).
+func TestSummaryMergeEquivalence(t *testing.T) {
+	check := func(seed uint64, splitByte uint8) bool {
+		r := rng.New(seed)
+		n := 10 + r.Intn(200)
+		split := 1 + int(splitByte)%(n-1)
+		var all, a, b Summary
+		for i := 0; i < n; i++ {
+			x := r.Uniform(-50, 50)
+			all.Add(x)
+			if i < split {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.Count() == all.Count() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-all.Variance()) < 1e-9 &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // empty other: no-op
+	if a != before {
+		t.Fatal("merging empty changed summary")
+	}
+	b.Merge(a) // empty receiver: copy
+	if b.Mean() != 2 || b.Count() != 2 {
+		t.Fatal("merge into empty wrong")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i := 0; i < 10; i++ {
+		if h.Bucket(i) != 1 {
+			t.Fatalf("bucket %d = %d, want 1", i, h.Bucket(i))
+		}
+	}
+	h.Add(-5)
+	h.Add(100)
+	u, o := h.OutOfRange()
+	if u != 1 || o != 1 {
+		t.Fatalf("out of range %d/%d", u, o)
+	}
+	if h.Count() != 12 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i%100) + 0.5)
+	}
+	med := h.Quantile(0.5)
+	if med < 45 || med > 55 {
+		t.Fatalf("median %v, want ≈50", med)
+	}
+	q9 := h.Quantile(0.9)
+	if q9 < 85 || q9 > 95 {
+		t.Fatalf("p90 %v, want ≈90", q9)
+	}
+	if h.Quantile(-1) > h.Quantile(2) {
+		t.Fatal("clamped quantiles out of order")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	h.Add(-1)
+	if q := h.Quantile(0.5); q != h.Lo-1 {
+		t.Fatalf("underflow quantile %v", q)
+	}
+	h2 := NewHistogram(0, 10, 5)
+	h2.Add(50)
+	if q := h2.Quantile(0.99); q != h2.Hi+1 {
+		t.Fatalf("overflow quantile %v", q)
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram accepted")
+		}
+	}()
+	NewHistogram(5, 5, 10)
+}
+
+func TestHistogramBoundary(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	h.Add(0) // exactly Lo → first bucket
+	if h.Bucket(0) != 1 {
+		t.Fatal("Lo boundary not in first bucket")
+	}
+	h.Add(10) // exactly Hi → overflow
+	if _, o := h.OutOfRange(); o != 1 {
+		t.Fatal("Hi boundary not overflow")
+	}
+}

@@ -1,0 +1,123 @@
+package mtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+	"rmcast/internal/topology"
+)
+
+func genTree(seed uint64, sizeByte uint8) *Tree {
+	m := 10 + int(sizeByte)%120
+	net := topology.MustGenerate(topology.DefaultConfig(m), rng.New(seed))
+	return MustBuild(net)
+}
+
+// Property: LCA is symmetric, idempotent on ancestors, and its depth
+// lower-bounds both arguments' depths.
+func TestPropLCAAlgebra(t *testing.T) {
+	f := func(seed uint64, size uint8, pick uint16) bool {
+		tr := genTree(seed, size)
+		cs := tr.Clients
+		a := cs[int(pick)%len(cs)]
+		b := cs[int(pick/7)%len(cs)]
+		l := tr.LCA(a, b)
+		if tr.LCA(b, a) != l {
+			return false
+		}
+		if !tr.IsAncestor(l, a) || !tr.IsAncestor(l, b) {
+			return false
+		}
+		if tr.Depth[l] > tr.Depth[a] || tr.Depth[l] > tr.Depth[b] {
+			return false
+		}
+		// The LCA is the DEEPEST common ancestor: its child toward a (if
+		// any) must not be an ancestor of b.
+		if l != a && l != b {
+			ca := tr.ChildToward(l, a)
+			if tr.IsAncestor(ca, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree-path hop count and delay decompose through the LCA and
+// satisfy the triangle equality d(a,b) = d(a,l) + d(l,b).
+func TestPropTreeDistanceDecomposition(t *testing.T) {
+	f := func(seed uint64, size uint8, pick uint16) bool {
+		tr := genTree(seed, size)
+		cs := tr.Clients
+		a := cs[int(pick)%len(cs)]
+		b := cs[int(pick/11)%len(cs)]
+		l := tr.LCA(a, b)
+		hops := tr.TreeHops(a, b)
+		if hops != (tr.Depth[a]-tr.Depth[l])+(tr.Depth[b]-tr.Depth[l]) {
+			return false
+		}
+		dl := tr.TreeDelay(a, b)
+		want := (tr.DelayFromRoot[a] - tr.DelayFromRoot[l]) +
+			(tr.DelayFromRoot[b] - tr.DelayFromRoot[l])
+		if math.Abs(dl-want) > 1e-9 {
+			return false
+		}
+		// Path length consistency.
+		return len(tr.TreePath(a, b)) == int(hops)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: subtree node sets partition correctly — a node is in the
+// subtree of r iff r is its ancestor.
+func TestPropSubtreeMembership(t *testing.T) {
+	f := func(seed uint64, size uint8, pick uint16) bool {
+		tr := genTree(seed, size)
+		r := tr.Order[int(pick)%len(tr.Order)]
+		in := map[graph.NodeID]bool{}
+		for _, v := range tr.SubtreeNodes(r) {
+			in[v] = true
+		}
+		for _, v := range tr.Order {
+			if in[v] != tr.IsAncestor(r, v) {
+				return false
+			}
+		}
+		return len(in) == tr.SubtreeEdgeCount(r)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: preorder Order lists each tree node exactly once, parents
+// before children.
+func TestPropPreorderConsistency(t *testing.T) {
+	f := func(seed uint64, size uint8) bool {
+		tr := genTree(seed, size)
+		pos := map[graph.NodeID]int{}
+		for i, v := range tr.Order {
+			if _, dup := pos[v]; dup {
+				return false
+			}
+			pos[v] = i
+		}
+		for _, v := range tr.Order {
+			if p := tr.Parent[v]; p != graph.None && pos[p] >= pos[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,597 @@
+// Package protocol provides the reliable-multicast session framework shared
+// by the three recovery schemes the paper compares (RP, SRM, RMA) and the
+// source-recovery ablation baseline.
+//
+// A Session drives one simulation run: the source multicasts a stream of
+// data packets over the tree; per-link loss leaves gaps at clients; clients
+// detect each gap and hand it to the protocol Engine, which exchanges
+// Request/Repair packets until every gap is filled. The session — not the
+// engines — owns ground truth (who has which packet), loss detection, and
+// the latency/bandwidth accounting, so the three protocols are measured
+// identically.
+//
+// Loss detection is idealised and uniform across protocols: a client learns
+// it missed packet seq a fixed DetectLag after the instant the packet would
+// have arrived loss-free. Real protocols detect via sequence gaps or
+// heartbeats; modelling that identically for all three schemes would shift
+// every latency curve by the same amount, so the idealisation preserves the
+// comparisons the paper reports.
+package protocol
+
+import (
+	"fmt"
+	"math"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/metrics"
+	"rmcast/internal/mtree"
+	"rmcast/internal/rng"
+	"rmcast/internal/route"
+	"rmcast/internal/sim"
+	"rmcast/internal/topology"
+	"rmcast/internal/trace"
+)
+
+// Engine is one recovery protocol bound to a session.
+type Engine interface {
+	// Name identifies the protocol in reports ("RP", "SRM", "RMA", …).
+	Name() string
+	// Attach is called once, before any traffic, with the session.
+	Attach(s *Session)
+	// OnDetect is called when client c detects that packet seq is missing.
+	OnDetect(c graph.NodeID, seq int)
+	// OnPacket is called for every Request or Repair delivered to host —
+	// including repairs for packets the host already has (needed for
+	// SRM-style suppression). Data packets are handled by the session.
+	OnPacket(host graph.NodeID, pkt sim.Packet)
+}
+
+// DetectionMode selects how clients learn that a packet is missing.
+type DetectionMode uint8
+
+const (
+	// DetectIdeal notifies a client DetectLag after the instant the lost
+	// packet would have arrived — the uniform idealisation used for the
+	// paper's comparisons (see the package comment).
+	DetectIdeal DetectionMode = iota
+	// DetectGap is the realistic mode: a client notices a gap when a
+	// later data packet arrives (sequence-number gap detection), with a
+	// session-tail sweep catching losses of the final packets. Latencies
+	// measured under this mode include the gap-exposure delay.
+	DetectGap
+	// DetectSession adds SRM-style session messages to gap detection: the
+	// source periodically multicasts a heartbeat advertising the highest
+	// sequence sent, so tail losses are exposed within one heartbeat
+	// interval instead of waiting for the end-of-run sweep. This is how
+	// SRM actually bounds tail-loss detection.
+	DetectSession
+)
+
+// Config parameterises a session run.
+type Config struct {
+	// Packets is the number of data packets the source multicasts.
+	Packets int
+	// Interval is the inter-packet send spacing (ms).
+	Interval float64
+	// Detection selects the loss-detection model (default DetectIdeal).
+	Detection DetectionMode
+	// GapTailLag is the extra wait, after the last packet's loss-free
+	// arrival, before tail losses are declared under DetectGap
+	// (default 2·Interval).
+	GapTailLag float64
+	// HeartbeatInterval is the session-message period under DetectSession
+	// (default 4·Interval). Heartbeats are multicast on the data plane and
+	// subject to loss like data.
+	HeartbeatInterval float64
+	// DetectLag is the extra delay between a packet's loss-free arrival
+	// time and the client noticing the gap (ms). Zero is allowed: an
+	// epsilon is applied internally so detection orders after delivery.
+	DetectLag float64
+	// LossyRecovery subjects recovery traffic (requests and repairs) to
+	// per-link loss. The paper's model keeps recovery traffic lossless
+	// (§3.1; see sim.Net.ControlLoss), which is the default; enable this
+	// for the robustness experiments.
+	LossyRecovery bool
+	// Jitter adds per-traversal queueing variability (see sim.Net.Jitter).
+	// Zero — the paper's fixed-delay model — is the default.
+	Jitter float64
+	// PacketTime, when positive, enables the store-and-forward congestion
+	// model (sim.QueueModel) with this per-packet per-link service time
+	// (ms). Under congestion a delayed data packet can arrive after the
+	// idealised detector fired — pair this with a DetectLag covering the
+	// expected queueing delay, or with DetectGap; late arrivals are
+	// counted in Stats.LateData either way.
+	PacketTime float64
+	// MaxEvents aborts runaway runs; 0 means the package default (50M).
+	MaxEvents uint64
+}
+
+// DefaultConfig returns the configuration used by the reproduction
+// experiments: 100 packets, 50 ms apart, immediate detection.
+func DefaultConfig() Config {
+	return Config{Packets: 100, Interval: 50, DetectLag: 0}
+}
+
+// detectEps orders loss-detection checks after same-instant deliveries.
+const detectEps = 1e-3
+
+// heartbeat is the payload of a session message (DetectSession): every
+// sequence up to Highest has been transmitted.
+type heartbeat struct {
+	Highest int
+}
+
+// Session is one simulation run of one protocol over one network.
+type Session struct {
+	Eng    *sim.Engine
+	Net    *sim.Net
+	Topo   *topology.Network
+	Tree   *mtree.Tree
+	Routes route.Router
+	// Rand is the protocol-side randomness stream (timer jitter), split
+	// from the network's loss stream so protocols with different draw
+	// counts still see identical link fates under one seed.
+	Rand *rng.Rand
+
+	cfg    Config
+	engine Engine
+
+	// Trace, when set before Run, receives structured events for every
+	// send, delivery, drop, detection, and recovery.
+	Trace trace.Tracer
+
+	clientIdx map[graph.NodeID]int
+	received  [][]bool    // [clientIdx][seq]
+	detectAt  [][]float64 // NaN = not (yet) detected
+	sentAt    []float64   // source send time per seq
+	nextExp   []int       // per-client next expected seq (DetectGap)
+
+	latHist *metrics.Histogram
+	// perClient accumulates recovery latency per client (index-aligned
+	// with Topo.Clients), for per-client model validation.
+	perClient []metrics.Summary
+	stats     Stats
+}
+
+// Stats aggregates the per-run outcome counters.
+type Stats struct {
+	// Losses counts detected (client, seq) gaps.
+	Losses int64
+	// Recoveries counts gaps subsequently filled by a repair.
+	Recoveries int64
+	// Unrecovered counts gaps still open when the run ends (should be 0).
+	Unrecovered int64
+	// Duplicates counts repairs delivered to hosts that already had the
+	// packet — pure overhead (SRM floods produce many).
+	Duplicates int64
+	// PreDetection counts repairs that filled a gap before the client
+	// even detected it (possible when another client recovers first and
+	// the repair is multicast); these never become Losses/Recoveries.
+	PreDetection int64
+	// DataDeliveries counts original data receptions.
+	DataDeliveries int64
+	// LateData counts data packets that arrived after the client had
+	// already declared them lost (possible only under queueing, where
+	// true arrival can trail the idealised detector). Such gaps close
+	// without counting as Recoveries.
+	LateData int64
+	// Latency summarises per-recovery delay (detection → repair), ms.
+	Latency metrics.Summary
+}
+
+// Result is the full outcome of a run.
+type Result struct {
+	Protocol string
+	Clients  int
+	Packets  int
+	Stats    Stats
+	Hops     sim.HopCount
+	Drops    sim.HopCount
+	Events   uint64
+	SimTime  float64
+	// LatencyHist is the per-recovery latency distribution (ms).
+	LatencyHist *metrics.Histogram
+	// PerClientLatency maps each client to its recovery-latency summary
+	// (clients with no recoveries have empty summaries).
+	PerClientLatency map[graph.NodeID]metrics.Summary
+	// Complete is false if the run hit MaxEvents before quiescing.
+	Complete bool
+}
+
+// LatencyQuantile estimates the q-quantile of per-recovery latency (ms).
+func (r *Result) LatencyQuantile(q float64) float64 {
+	if r.LatencyHist == nil {
+		return 0
+	}
+	return r.LatencyHist.Quantile(q)
+}
+
+// AvgLatency returns the mean recovery latency in ms (0 when no recovery
+// happened).
+func (r *Result) AvgLatency() float64 { return r.Stats.Latency.Mean() }
+
+// BandwidthPerRecovery returns retransmission hops per recovery — the
+// paper's "average bandwidth usage per packet recovered (hops)". The paper
+// counts the repair (retransmission) traffic only: §5.2 argues SRM's
+// per-packet recovery bandwidth is *fixed* because its retransmission is a
+// whole-tree multicast, which is only true when NACK traffic is excluded.
+// Request traffic is reported separately by RequestHopsPerRecovery.
+func (r *Result) BandwidthPerRecovery() float64 {
+	if r.Stats.Recoveries == 0 {
+		return 0
+	}
+	return float64(r.Hops.Repair) / float64(r.Stats.Recoveries)
+}
+
+// RequestHopsPerRecovery returns request/NACK hops per recovery — the part
+// of recovery bandwidth the paper's figures leave out.
+func (r *Result) RequestHopsPerRecovery() float64 {
+	if r.Stats.Recoveries == 0 {
+		return 0
+	}
+	return float64(r.Hops.Request) / float64(r.Stats.Recoveries)
+}
+
+// TotalRecoveryHopsPerRecovery returns all recovery-traffic hops (requests
+// plus repairs) per recovery — the harsher end-to-end bandwidth measure.
+func (r *Result) TotalRecoveryHopsPerRecovery() float64 {
+	if r.Stats.Recoveries == 0 {
+		return 0
+	}
+	return float64(r.Hops.Recovery()) / float64(r.Stats.Recoveries)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: clients=%d losses=%d recovered=%d avgLat=%.2fms bw=%.2fhops dup=%d",
+		r.Protocol, r.Clients, r.Stats.Losses, r.Stats.Recoveries,
+		r.AvgLatency(), r.BandwidthPerRecovery(), r.Stats.Duplicates)
+}
+
+// NewSession assembles a session over topo with the given protocol engine,
+// using the omniscient routing oracle. All randomness derives from seed.
+func NewSession(topo *topology.Network, engine Engine, cfg Config, seed uint64) (*Session, error) {
+	return NewSessionWithRouter(topo, engine, cfg, seed, nil)
+}
+
+// NewSessionWithRouter is NewSession with an injected routing substrate
+// (e.g. internal/lsr's converged link-state routing, whose delay estimates
+// carry measurement noise). nil means route.Build's oracle.
+func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, seed uint64, routes route.Router) (*Session, error) {
+	tree, err := mtree.Build(topo)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Packets <= 0 || cfg.Interval <= 0 {
+		return nil, fmt.Errorf("protocol: bad config %+v", cfg)
+	}
+	root := rng.New(seed)
+	netRand := root.Split()
+	protoRand := root.Split()
+	eng := sim.NewEngine()
+	if routes == nil {
+		routes = route.Build(topo)
+	} else {
+		routes.Prepare(topo.Source)
+		for _, c := range topo.Clients {
+			routes.Prepare(c)
+		}
+	}
+	net := sim.NewNet(eng, topo, tree, routes, netRand)
+	net.ControlLoss = cfg.LossyRecovery
+	net.Jitter = cfg.Jitter
+	if cfg.PacketTime > 0 {
+		net.Queue = sim.NewQueueModel(cfg.PacketTime)
+	}
+	s := &Session{
+		Eng:       eng,
+		Net:       net,
+		Topo:      topo,
+		Tree:      tree,
+		Routes:    routes,
+		Rand:      protoRand,
+		cfg:       cfg,
+		engine:    engine,
+		clientIdx: make(map[graph.NodeID]int, len(topo.Clients)),
+		received:  make([][]bool, len(topo.Clients)),
+		detectAt:  make([][]float64, len(topo.Clients)),
+		sentAt:    make([]float64, cfg.Packets),
+		nextExp:   make([]int, len(topo.Clients)),
+		latHist:   metrics.NewHistogram(0, 5000, 500),
+		perClient: make([]metrics.Summary, len(topo.Clients)),
+	}
+	for i, c := range topo.Clients {
+		s.clientIdx[c] = i
+		s.received[i] = make([]bool, cfg.Packets)
+		s.detectAt[i] = make([]float64, cfg.Packets)
+		for j := range s.detectAt[i] {
+			s.detectAt[i][j] = math.NaN()
+		}
+	}
+	// Every host (clients + source) feeds deliveries through the session.
+	for _, c := range topo.Clients {
+		c := c
+		s.Net.SetHandler(c, func(pkt sim.Packet) { s.onDeliver(c, pkt) })
+	}
+	src := topo.Source
+	s.Net.SetHandler(src, func(pkt sim.Packet) { s.onDeliver(src, pkt) })
+	engine.Attach(s)
+	return s, nil
+}
+
+// Config returns the session configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Clients returns the group members.
+func (s *Session) Clients() []graph.NodeID { return s.Topo.Clients }
+
+// IsClient reports group membership.
+func (s *Session) IsClient(n graph.NodeID) bool { return s.Topo.IsClient(n) }
+
+// Has reports whether host holds packet seq. The source holds every packet
+// it has sent (and, conservatively, every packet of the stream — recovery
+// requests only ever concern sent packets).
+func (s *Session) Has(host graph.NodeID, seq int) bool {
+	if host == s.Topo.Source {
+		return true
+	}
+	idx, ok := s.clientIdx[host]
+	if !ok {
+		return false
+	}
+	return s.received[idx][seq]
+}
+
+// Missing reports whether client c is a group member that detected the loss
+// of seq and has not recovered it yet.
+func (s *Session) Missing(c graph.NodeID, seq int) bool {
+	idx, ok := s.clientIdx[c]
+	if !ok {
+		return false
+	}
+	return !s.received[idx][seq] && !math.IsNaN(s.detectAt[idx][seq])
+}
+
+// onDeliver is the single choke point for every packet arriving at a host.
+func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
+	switch pkt.Kind {
+	case sim.Data:
+		if pkt.Seq < 0 || pkt.Seq >= s.cfg.Packets {
+			if hb, ok := pkt.Payload.(heartbeat); ok {
+				// Session message: every packet up to Highest has been
+				// sent; anything not received is now a known gap.
+				if idx, isClient := s.clientIdx[host]; isClient {
+					for seq := s.nextExp[idx]; seq <= hb.Highest; seq++ {
+						s.detectLoss(idx, host, seq)
+					}
+					if hb.Highest+1 > s.nextExp[idx] {
+						s.nextExp[idx] = hb.Highest + 1
+					}
+				}
+				return
+			}
+			// Auxiliary data-plane packets (e.g. FEC parity): not part of
+			// the reliable sequence space; routed to the engine, subject
+			// to data-plane loss like any data packet.
+			s.engine.OnPacket(host, pkt)
+			return
+		}
+		if idx, ok := s.clientIdx[host]; ok {
+			if !s.received[idx][pkt.Seq] {
+				s.received[idx][pkt.Seq] = true
+				s.stats.DataDeliveries++
+				if !math.IsNaN(s.detectAt[idx][pkt.Seq]) {
+					s.stats.LateData++
+				}
+				s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.RecvData,
+					Node: int32(host), Peer: -1, Seq: pkt.Seq})
+			}
+			if s.cfg.Detection == DetectGap || s.cfg.Detection == DetectSession {
+				s.gapScan(idx, host, pkt.Seq)
+			}
+		}
+	case sim.Repair:
+		if idx, ok := s.clientIdx[host]; ok {
+			switch {
+			case s.received[idx][pkt.Seq]:
+				s.stats.Duplicates++
+			case math.IsNaN(s.detectAt[idx][pkt.Seq]):
+				// Repaired before the gap was even noticed.
+				s.received[idx][pkt.Seq] = true
+				s.stats.PreDetection++
+			default:
+				s.received[idx][pkt.Seq] = true
+				s.stats.Recoveries++
+				lat := s.Eng.Now() - s.detectAt[idx][pkt.Seq]
+				s.stats.Latency.Add(lat)
+				s.latHist.Add(lat)
+				s.perClient[idx].Add(lat)
+				s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
+					Node: int32(host), Peer: int32(pkt.From), Seq: pkt.Seq})
+			}
+		}
+		s.engine.OnPacket(host, pkt)
+	case sim.Request:
+		s.engine.OnPacket(host, pkt)
+	}
+}
+
+// emit forwards a trace event when a tracer is attached.
+func (s *Session) emit(e trace.Event) {
+	if s.Trace != nil {
+		s.Trace.Emit(e)
+	}
+}
+
+// detectLoss records and dispatches one loss detection (idempotent).
+func (s *Session) detectLoss(i int, c graph.NodeID, seq int) {
+	if s.received[i][seq] || !math.IsNaN(s.detectAt[i][seq]) {
+		return
+	}
+	s.detectAt[i][seq] = s.Eng.Now()
+	s.stats.Losses++
+	s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Detect,
+		Node: int32(c), Peer: -1, Seq: seq})
+	s.engine.OnDetect(c, seq)
+}
+
+// gapScan performs sequence-gap detection at a client that just received
+// data packet seq: every undelivered packet below it is now known missing.
+func (s *Session) gapScan(idx int, c graph.NodeID, seq int) {
+	if seq < s.nextExp[idx] {
+		return
+	}
+	for s2 := s.nextExp[idx]; s2 < seq; s2++ {
+		s.detectLoss(idx, c, s2)
+	}
+	s.nextExp[idx] = seq + 1
+}
+
+// ExpectedArrival returns the loss-free arrival time of packet seq at a
+// host: its send time plus the tree-path delay. Before this instant the
+// host cannot distinguish "lost" from "still in transit" — protocol engines
+// use it to hold recovery requests for data a peer still expects
+// (see rpproto.Options.HoldFreshRequests).
+func (s *Session) ExpectedArrival(host graph.NodeID, seq int) float64 {
+	return s.sentAt[seq] + s.Net.WouldArrive(host)
+}
+
+// RecoverLocal marks packet seq as recovered at client c by local
+// computation (e.g. an FEC decode) at the current simulation time, with the
+// same bookkeeping as a repair arrival but no network traffic. It returns
+// false if c already holds the packet (or is not a client).
+func (s *Session) RecoverLocal(c graph.NodeID, seq int) bool {
+	idx, ok := s.clientIdx[c]
+	if !ok || s.received[idx][seq] {
+		return false
+	}
+	s.received[idx][seq] = true
+	if math.IsNaN(s.detectAt[idx][seq]) {
+		s.stats.PreDetection++
+		return true
+	}
+	s.stats.Recoveries++
+	lat := s.Eng.Now() - s.detectAt[idx][seq]
+	s.stats.Latency.Add(lat)
+	s.latHist.Add(lat)
+	s.perClient[idx].Add(lat)
+	s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
+		Node: int32(c), Peer: int32(c), Seq: seq})
+	return true
+}
+
+// Run executes the whole session and returns the result.
+func (s *Session) Run() *Result {
+	if s.Trace != nil {
+		s.Net.OnSend = func(pkt sim.Packet) {
+			var k trace.Kind
+			switch pkt.Kind {
+			case sim.Data:
+				return // SendData is emitted once per multicast below
+			case sim.Request:
+				k = trace.SendRequest
+			case sim.Repair:
+				k = trace.SendRepair
+			}
+			s.emit(trace.Event{At: s.Eng.Now(), Kind: k,
+				Node: int32(pkt.From), Peer: -1, Seq: pkt.Seq})
+		}
+		s.Net.OnDrop = func(pkt sim.Packet, link graph.EdgeID) {
+			s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Drop,
+				Node: int32(link), Peer: -1, Seq: pkt.Seq})
+		}
+	}
+	src := s.Topo.Source
+	var maxArrive float64
+	for _, c := range s.Topo.Clients {
+		if w := s.Net.WouldArrive(c); w > maxArrive {
+			maxArrive = w
+		}
+	}
+	for seq := 0; seq < s.cfg.Packets; seq++ {
+		seq := seq
+		at := float64(seq) * s.cfg.Interval
+		s.sentAt[seq] = at
+		s.Eng.Schedule(at, func() {
+			s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.SendData,
+				Node: int32(src), Peer: -1, Seq: seq})
+			s.Net.MulticastFromSource(sim.Packet{Kind: sim.Data, Seq: seq, From: src})
+		})
+		if s.cfg.Detection == DetectIdeal {
+			// Idealised loss detection per client.
+			for i, c := range s.Topo.Clients {
+				i, c := i, c
+				when := at + s.Net.WouldArrive(c) + s.cfg.DetectLag + detectEps
+				s.Eng.Schedule(when, func() { s.detectLoss(i, c, seq) })
+			}
+		}
+	}
+	if s.cfg.Detection == DetectGap || s.cfg.Detection == DetectSession {
+		// Tail sweep: losses of the final packets are never exposed by a
+		// later arrival (and the final heartbeat can itself be lost), so
+		// declare them after a grace period.
+		tailLag := s.cfg.GapTailLag
+		if tailLag <= 0 {
+			tailLag = 2 * s.cfg.Interval
+		}
+		sweepAt := float64(s.cfg.Packets-1)*s.cfg.Interval + maxArrive + tailLag
+		s.Eng.Schedule(sweepAt, func() {
+			for i, c := range s.Topo.Clients {
+				for seq := 0; seq < s.cfg.Packets; seq++ {
+					s.detectLoss(i, c, seq)
+				}
+			}
+		})
+	}
+	if s.cfg.Detection == DetectSession {
+		hb := s.cfg.HeartbeatInterval
+		if hb <= 0 {
+			hb = 4 * s.cfg.Interval
+		}
+		end := float64(s.cfg.Packets-1) * s.cfg.Interval
+		for at := hb; at <= end+hb; at += hb {
+			at := at
+			s.Eng.Schedule(at, func() {
+				highest := int(at / s.cfg.Interval)
+				if highest >= s.cfg.Packets {
+					highest = s.cfg.Packets - 1
+				}
+				s.Net.MulticastFromSource(sim.Packet{
+					Kind: sim.Data, Seq: -1, From: src,
+					Payload: heartbeat{Highest: highest},
+				})
+			})
+		}
+	}
+	maxEvents := s.cfg.MaxEvents
+	if maxEvents == 0 {
+		maxEvents = 50_000_000
+	}
+	executed := s.Eng.Run(maxEvents)
+	complete := s.Eng.Pending() == 0
+
+	for i := range s.received {
+		for seq, got := range s.received[i] {
+			if !got && !math.IsNaN(s.detectAt[i][seq]) {
+				s.stats.Unrecovered++
+			}
+		}
+	}
+	perClient := make(map[graph.NodeID]metrics.Summary, len(s.Topo.Clients))
+	for i, c := range s.Topo.Clients {
+		perClient[c] = s.perClient[i]
+	}
+	return &Result{
+		PerClientLatency: perClient,
+		Protocol:         s.engine.Name(),
+		Clients:          len(s.Topo.Clients),
+		Packets:          s.cfg.Packets,
+		Stats:            s.stats,
+		Hops:             s.Net.Hops,
+		Drops:            s.Net.Drops,
+		Events:           executed,
+		SimTime:          s.Eng.Now(),
+		LatencyHist:      s.latHist,
+		Complete:         complete,
+	}
+}

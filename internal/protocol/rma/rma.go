@@ -1,0 +1,246 @@
+// Package rma implements the RMA baseline (Levine & Garcia-Luna-Aceves,
+// reference [19] of the paper): a receiver that lost a packet "attempts to
+// achieve the shortest delay from the nearest upstream receiver that has
+// received the packet", asking upstream receivers one by one — nearest
+// (deepest meet router) first — and the first receiver that holds the
+// packet multicasts the repair to the subtree rooted at its meet router
+// with the requester, "the subtree that contains all the receivers that
+// have been requested".
+//
+// RMA fits the paper's generic recovery description (§1, §2.2): a
+// prioritized list walked one-by-one with per-attempt timeout detection.
+// Its list is simply the complete upstream-receiver order; RP's entire
+// advantage is replacing that naive order with the optimized sublist from
+// the strategy graph. As the paper puts it, RMA's "one-by-one searching is
+// just best-effort, not strategic": when the loss sits high in the tree,
+// every nearby receiver has lost the packet too, and RMA burns one timeout
+// per hopeless neighbour before reaching a holder.
+package rma
+
+import (
+	"rmcast/internal/core"
+	"rmcast/internal/graph"
+	"rmcast/internal/protocol"
+	"rmcast/internal/sim"
+)
+
+// Options configures the RMA engine.
+type Options struct {
+	// Timeout is the per-attempt timeout policy (shared shape with RP so
+	// the comparison isolates list construction); nil means
+	// core.ProportionalTimeout(3).
+	Timeout core.TimeoutPolicy
+	// RepairSuppression makes a repairer ignore further requests for a
+	// packet whose meet router is already covered by a recent repair
+	// multicast it sent — the paper's semantics that one repair serves
+	// "all the receivers that have been requested". Disabling it makes
+	// every concurrent requester cost a full subtree multicast.
+	RepairSuppression bool
+	// NoHoldFreshRequests disables request holding for packets still in
+	// transit to the receiver (see rpproto.Options.NoHoldFreshRequests).
+	NoHoldFreshRequests bool
+}
+
+// DefaultOptions returns the configuration used in the reproduction.
+func DefaultOptions() Options { return Options{RepairSuppression: true} }
+
+// Engine is the RMA protocol engine.
+type Engine struct {
+	opt Options
+	s   *protocol.Session
+	// chain is the per-client full upstream receiver order (descending
+	// meet depth — nearest upstream first).
+	chain   map[graph.NodeID][]core.Candidate
+	pending map[key]*attempt
+	// repaired records, per (repairer, seq), the root and time of the
+	// last repair multicast, for repairer-side suppression.
+	repaired map[key]repairMark
+	// diameter bounds how long an in-flight repair can take to arrive.
+	diameter float64
+}
+
+type repairMark struct {
+	root graph.NodeID
+	at   float64
+}
+
+type key struct {
+	c   graph.NodeID
+	seq int
+}
+
+type attempt struct {
+	idx   int // position in the chain; len(chain) means "at source"
+	timer *sim.Timer
+}
+
+// request is the payload of an RMA recovery request.
+type request struct {
+	Requester graph.NodeID
+	// MinDS is the shallowest meet depth among the receivers already
+	// asked (including the addressee), telling the source how large a
+	// subtree its repair must cover.
+	MinDS int32
+}
+
+// New returns an RMA engine.
+func New(opt Options) *Engine {
+	return &Engine{opt: opt, pending: make(map[key]*attempt), repaired: make(map[key]repairMark)}
+}
+
+// Name implements protocol.Engine.
+func (e *Engine) Name() string { return "RMA" }
+
+func (e *Engine) timeout() core.TimeoutPolicy {
+	if e.opt.Timeout == nil {
+		return core.ProportionalTimeout(3)
+	}
+	return e.opt.Timeout
+}
+
+// Attach precomputes every client's upstream receiver chain.
+func (e *Engine) Attach(s *protocol.Session) {
+	e.s = s
+	p := core.NewPlanner(s.Tree, s.Routes)
+	p.Timeout = e.opt.Timeout
+	e.chain = make(map[graph.NodeID][]core.Candidate, len(s.Clients()))
+	var deep float64
+	for _, c := range s.Clients() {
+		// Candidates are already one-per-class in descending DS order —
+		// exactly RMA's nearest-upstream-first walk, un-pruned.
+		e.chain[c] = p.Candidates(c)
+		if d := s.Tree.DelayFromRoot[c]; d > deep {
+			deep = d
+		}
+	}
+	e.diameter = 2 * deep
+}
+
+// OnDetect implements protocol.Engine: start at the nearest upstream
+// receiver.
+func (e *Engine) OnDetect(c graph.NodeID, seq int) {
+	k := key{c, seq}
+	if _, dup := e.pending[k]; dup {
+		return
+	}
+	a := &attempt{}
+	e.pending[k] = a
+	e.send(c, seq, a)
+}
+
+// send fires the request for the attempt's current chain position and arms
+// the fall-through timer.
+func (e *Engine) send(c graph.NodeID, seq int, a *attempt) {
+	chain := e.chain[c]
+	var target graph.NodeID
+	var t0 float64
+	minDS := e.s.Tree.Depth[c] - 1
+	if a.idx < len(chain) {
+		target = chain[a.idx].Peer
+		t0 = chain[a.idx].Timeout
+		minDS = chain[a.idx].DS
+	} else {
+		target = e.s.Topo.Source
+		srcRTT := e.s.Routes.RTT(c, target)
+		t0 = e.timeout().Timeout(srcRTT)
+		if len(chain) > 0 {
+			minDS = chain[len(chain)-1].DS
+		}
+	}
+	e.s.Net.Unicast(target, sim.Packet{
+		Kind: sim.Request, Seq: seq, From: c,
+		Payload: request{Requester: c, MinDS: minDS},
+	})
+	a.timer = e.s.Eng.NewTimer(t0, func() { e.expire(c, seq, a) })
+}
+
+// expire advances to the next upstream receiver (the source attempt repeats
+// until recovery).
+func (e *Engine) expire(c graph.NodeID, seq int, a *attempt) {
+	k := key{c, seq}
+	if e.pending[k] != a {
+		return
+	}
+	if !e.s.Missing(c, seq) {
+		delete(e.pending, k)
+		return
+	}
+	if a.idx < len(e.chain[c]) {
+		a.idx++
+	}
+	e.send(c, seq, a)
+}
+
+// OnPacket implements protocol.Engine.
+func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
+	switch pkt.Kind {
+	case sim.Request:
+		pay, ok := pkt.Payload.(request)
+		if !ok {
+			return
+		}
+		if e.s.Has(host, pkt.Seq) {
+			e.repair(host, pkt.Seq, pay)
+			return
+		}
+		if !e.opt.NoHoldFreshRequests && e.s.IsClient(host) {
+			if eta := e.s.ExpectedArrival(host, pkt.Seq); eta > e.s.Eng.Now() {
+				seq, p2 := pkt.Seq, pay
+				e.s.Eng.Schedule(eta+2e-3, func() {
+					if e.s.Has(host, seq) {
+						e.repair(host, seq, p2)
+					}
+				})
+				return
+			}
+		}
+		// A receiver without the packet stays silent; the requester's
+		// timeout advances the walk.
+	case sim.Repair:
+		k := key{host, pkt.Seq}
+		if a := e.pending[k]; a != nil {
+			a.timer.Stop()
+			delete(e.pending, k)
+		}
+	}
+}
+
+// repair multicasts the lost packet over the subtree containing the
+// requester and every receiver already asked, unless a recent repair from
+// this host already covers that subtree.
+func (e *Engine) repair(host graph.NodeID, seq int, pay request) {
+	t := e.s.Tree
+	var root graph.NodeID
+	if host == e.s.Topo.Source {
+		minDS := pay.MinDS
+		if minDS < 1 {
+			root = t.Root
+		} else {
+			root = t.Ancestor(pay.Requester, t.Depth[pay.Requester]-minDS)
+		}
+	} else {
+		root = t.LCA(host, pay.Requester)
+	}
+	k := key{host, seq}
+	if e.opt.RepairSuppression {
+		if m, ok := e.repaired[k]; ok && e.s.Eng.Now()-m.at < e.diameter &&
+			(m.root == root || t.IsAncestor(m.root, root)) {
+			return // the in-flight repair already covers this requester
+		}
+	}
+	e.repaired[k] = repairMark{root: root, at: e.s.Eng.Now()}
+	pkt := sim.Packet{Kind: sim.Repair, Seq: seq, From: host}
+	switch {
+	case root == t.Root && host == e.s.Topo.Source:
+		e.s.Net.MulticastFromSource(pkt)
+	case host == e.s.Topo.Source:
+		e.s.Net.MulticastDescend(root, pkt)
+	default:
+		e.s.Net.MulticastSubtree(root, pkt)
+	}
+}
+
+// PendingRecoveries reports in-flight walks (testing).
+func (e *Engine) PendingRecoveries() int { return len(e.pending) }
+
+var _ protocol.Engine = (*Engine)(nil)

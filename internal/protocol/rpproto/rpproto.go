@@ -1,0 +1,273 @@
+// Package rpproto implements the deployed form of the paper's contribution:
+// the RP recovery protocol (§2.2). Each client holds the prioritized peer
+// list computed by internal/core; on detecting a loss it unicasts a request
+// to the first peer, falls through the list on per-attempt timeouts, and
+// lands on the source as the guaranteed last resort ("If the packet may not
+// be recovered from v1 … vk, then u will recover it from S by default").
+//
+// Options expose the paper's variants: the restricted strategy graph that
+// forbids going to the source directly (§4), the source-subgroup multicast
+// repair of §2.2/[4], and an explicit-NAK extension that lets a peer reject
+// a request immediately instead of letting it time out.
+package rpproto
+
+import (
+	"rmcast/internal/core"
+	"rmcast/internal/graph"
+	"rmcast/internal/protocol"
+	"rmcast/internal/sim"
+)
+
+// Options configures the RP engine.
+type Options struct {
+	// Timeout is the per-attempt timeout policy shared with planning;
+	// nil means core.ProportionalTimeout(3).
+	Timeout core.TimeoutPolicy
+	// AllowDirectSource mirrors the strategy-graph option (§4): when
+	// false the planner never puts the source first.
+	AllowDirectSource bool
+	// SubgroupRepair makes the source answer requests with a multicast to
+	// the requester's subgroup subtree instead of a unicast (§2.2 / [4]).
+	SubgroupRepair bool
+	// SubgroupDepth is the tree depth of subgroup roots (default 1: the
+	// requester's top-level subtree).
+	SubgroupDepth int32
+	// SubgroupSuppressFactor controls source-side request suppression
+	// when SubgroupRepair is on: a request for (seq, subgroup) arriving
+	// within factor·RTT(source, requester) of the previous subgroup
+	// multicast for the same pair is ignored — the in-flight repair will
+	// serve it. This is the load reduction of reference [4] ("the
+	// recovery load on S may be reduced by grouping clients", §2.2).
+	// Default 1; ≤ 0 disables suppression.
+	SubgroupSuppressFactor float64
+	// NakReplies makes peers that lack a requested packet reply with an
+	// explicit NAK so the requester advances without waiting for the
+	// timeout. An extension beyond the paper (it assumes the timeout
+	// mechanism); exposed for the ablation benchmarks.
+	NakReplies bool
+	// LossAware plans with the loss-aware model (core.Planner.LossProb set
+	// to the network's mean link loss) instead of the paper's reliable-
+	// network model — the extension discussed in internal/core/aware.go.
+	LossAware bool
+	// NoHoldFreshRequests disables request holding. By default a peer
+	// that receives a request for a packet it has not seen — but whose
+	// loss-free arrival time is still in the future — holds the request
+	// until that instant and answers if the packet shows up. Without
+	// holding, a peer farther from the source than the requester can
+	// never serve fresh packets (they are still in transit when the
+	// request lands), which silently disables deep-meet peers — a transit
+	// effect the paper's static model does not represent. Holding needs
+	// only peer-local knowledge (its own expected arrival time).
+	NoHoldFreshRequests bool
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{AllowDirectSource: true, SubgroupDepth: 1, SubgroupSuppressFactor: 1}
+}
+
+// Engine is the RP protocol engine.
+type Engine struct {
+	opt        Options
+	s          *protocol.Session
+	strategies map[graph.NodeID]*core.Strategy
+	pending    map[key]*attempt
+	// lastSubRepair records the send time of the latest subgroup repair
+	// multicast per (seq, subgroup root), for source-side suppression.
+	lastSubRepair map[key]float64
+}
+
+type key struct {
+	c   graph.NodeID
+	seq int
+}
+
+type attempt struct {
+	idx   int // index into the peer list; len(peers) means "at source"
+	timer *sim.Timer
+}
+
+// request is the payload of an RP recovery request.
+type request struct {
+	Requester graph.NodeID
+}
+
+// nak is the payload of an explicit "don't have it" reply (NakReplies).
+type nak struct{}
+
+// New returns an RP engine with the given options.
+func New(opt Options) *Engine {
+	if opt.SubgroupDepth <= 0 {
+		opt.SubgroupDepth = 1
+	}
+	return &Engine{
+		opt:           opt,
+		pending:       make(map[key]*attempt),
+		lastSubRepair: make(map[key]float64),
+	}
+}
+
+// Name implements protocol.Engine.
+func (e *Engine) Name() string { return "RP" }
+
+// Attach computes the strategies for every client with the core planner.
+func (e *Engine) Attach(s *protocol.Session) {
+	e.s = s
+	p := core.NewPlanner(s.Tree, s.Routes)
+	p.Timeout = e.opt.Timeout
+	p.AllowDirectSource = e.opt.AllowDirectSource
+	if e.opt.LossAware {
+		var sum float64
+		for _, l := range s.Topo.Loss {
+			sum += l
+		}
+		p.LossProb = sum / float64(len(s.Topo.Loss))
+	}
+	e.strategies = p.All()
+}
+
+// Strategies exposes the computed plans (for tests and tooling).
+func (e *Engine) Strategies() map[graph.NodeID]*core.Strategy { return e.strategies }
+
+// OnDetect implements protocol.Engine: start attempt 0.
+func (e *Engine) OnDetect(c graph.NodeID, seq int) {
+	k := key{c, seq}
+	if _, dup := e.pending[k]; dup {
+		return
+	}
+	a := &attempt{}
+	e.pending[k] = a
+	e.send(c, seq, a)
+}
+
+// send fires the request for the attempt's current index and arms the
+// fall-through timer.
+func (e *Engine) send(c graph.NodeID, seq int, a *attempt) {
+	st := e.strategies[c]
+	var target graph.NodeID
+	var t0 float64
+	if a.idx < len(st.Peers) {
+		target = st.Peers[a.idx].Peer
+		t0 = st.Peers[a.idx].Timeout
+	} else {
+		target = e.s.Topo.Source
+		t0 = st.SourceTimeout
+	}
+	e.s.Net.Unicast(target, sim.Packet{
+		Kind: sim.Request, Seq: seq, From: c, Payload: request{Requester: c},
+	})
+	a.timer = e.s.Eng.NewTimer(t0, func() { e.timeout(c, seq, a) })
+}
+
+// timeout advances to the next attempt (the source attempt repeats forever,
+// so recovery is guaranteed to terminate).
+func (e *Engine) timeout(c graph.NodeID, seq int, a *attempt) {
+	k := key{c, seq}
+	if e.pending[k] != a {
+		return // superseded
+	}
+	if !e.s.Missing(c, seq) {
+		delete(e.pending, k)
+		return
+	}
+	if a.idx < len(e.strategies[c].Peers) {
+		a.idx++
+	}
+	e.send(c, seq, a)
+}
+
+// advance is the NAK fast path: skip to the next attempt immediately.
+func (e *Engine) advance(c graph.NodeID, seq int) {
+	k := key{c, seq}
+	a := e.pending[k]
+	if a == nil || !a.timer.Stop() {
+		return
+	}
+	e.timeout(c, seq, a)
+}
+
+// OnPacket implements protocol.Engine.
+func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
+	switch pkt.Kind {
+	case sim.Request:
+		switch pay := pkt.Payload.(type) {
+		case request:
+			e.onRequest(host, pkt.Seq, pay.Requester)
+		case nak:
+			e.advance(host, pkt.Seq)
+		}
+	case sim.Repair:
+		k := key{host, pkt.Seq}
+		if a := e.pending[k]; a != nil {
+			a.timer.Stop()
+			delete(e.pending, k)
+		}
+	}
+}
+
+// onRequest serves or declines one recovery request arriving at host.
+func (e *Engine) onRequest(host graph.NodeID, seq int, requester graph.NodeID) {
+	if !e.s.Has(host, seq) {
+		if !e.opt.NoHoldFreshRequests && e.s.IsClient(host) {
+			// The packet may still be in transit to us: hold the request
+			// until our own expected arrival and re-decide.
+			if eta := e.s.ExpectedArrival(host, seq); eta > e.s.Eng.Now() {
+				e.s.Eng.Schedule(eta+2e-3, func() {
+					e.onRequestHeld(host, seq, requester)
+				})
+				return
+			}
+		}
+		e.declineRequest(host, seq, requester)
+		return
+	}
+	if host == e.s.Topo.Source && e.opt.SubgroupRepair {
+		sub := e.subgroupRoot(requester)
+		sk := key{sub, seq}
+		if e.opt.SubgroupSuppressFactor > 0 {
+			window := e.opt.SubgroupSuppressFactor * e.s.Routes.RTT(host, requester)
+			if last, ok := e.lastSubRepair[sk]; ok && e.s.Eng.Now()-last < window {
+				return // an in-flight subgroup repair already covers this
+			}
+		}
+		e.lastSubRepair[sk] = e.s.Eng.Now()
+		e.s.Net.MulticastDescend(sub, sim.Packet{Kind: sim.Repair, Seq: seq, From: host})
+		return
+	}
+	e.s.Net.Unicast(requester, sim.Packet{Kind: sim.Repair, Seq: seq, From: host})
+}
+
+// onRequestHeld re-decides a held request once the packet's arrival window
+// has passed.
+func (e *Engine) onRequestHeld(host graph.NodeID, seq int, requester graph.NodeID) {
+	if e.s.Has(host, seq) {
+		e.s.Net.Unicast(requester, sim.Packet{Kind: sim.Repair, Seq: seq, From: host})
+		return
+	}
+	e.declineRequest(host, seq, requester)
+}
+
+// declineRequest is the terminal no-packet path: explicit NAK or silence.
+func (e *Engine) declineRequest(host graph.NodeID, seq int, requester graph.NodeID) {
+	if e.opt.NakReplies && e.s.IsClient(host) {
+		e.s.Net.Unicast(requester, sim.Packet{
+			Kind: sim.Request, Seq: seq, From: host, Payload: nak{},
+		})
+	}
+}
+
+// subgroupRoot returns the requester's ancestor at SubgroupDepth (or the
+// requester itself for very shallow clients).
+func (e *Engine) subgroupRoot(requester graph.NodeID) graph.NodeID {
+	t := e.s.Tree
+	depth := t.Depth[requester]
+	if depth <= e.opt.SubgroupDepth {
+		return requester
+	}
+	return t.Ancestor(requester, depth-e.opt.SubgroupDepth)
+}
+
+// PendingRecoveries reports the number of in-flight recoveries (testing).
+func (e *Engine) PendingRecoveries() int { return len(e.pending) }
+
+var _ protocol.Engine = (*Engine)(nil)

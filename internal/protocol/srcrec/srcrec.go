@@ -1,0 +1,105 @@
+// Package srcrec implements the pure source-based recovery baseline: every
+// detected loss is recovered with a unicast request to the source and a
+// unicast repair back, retried on timeout. It is what RP degenerates to for
+// a client with no useful peers, and serves as the ablation floor in the
+// benchmark suite (the paper surveys source-based schemes in §1 and builds
+// on its own earlier subgrouping work [4], which the RP engine's
+// SubgroupRepair option models).
+package srcrec
+
+import (
+	"rmcast/internal/graph"
+	"rmcast/internal/protocol"
+	"rmcast/internal/sim"
+)
+
+// Options configures the engine.
+type Options struct {
+	// RetryFactor scales the retransmission timeout as a multiple of the
+	// client's RTT to the source.
+	RetryFactor float64
+}
+
+// DefaultOptions returns the standard configuration.
+func DefaultOptions() Options { return Options{RetryFactor: 3} }
+
+// Engine is the source-recovery engine.
+type Engine struct {
+	opt     Options
+	s       *protocol.Session
+	pending map[key]*sim.Timer
+}
+
+type key struct {
+	c   graph.NodeID
+	seq int
+}
+
+// request is the payload of a source-recovery request.
+type request struct {
+	Requester graph.NodeID
+}
+
+// New returns a source-recovery engine.
+func New(opt Options) *Engine {
+	if opt.RetryFactor <= 0 {
+		opt.RetryFactor = 3
+	}
+	return &Engine{opt: opt, pending: make(map[key]*sim.Timer)}
+}
+
+// Name implements protocol.Engine.
+func (e *Engine) Name() string { return "SRC" }
+
+// Attach implements protocol.Engine.
+func (e *Engine) Attach(s *protocol.Session) { e.s = s }
+
+// OnDetect implements protocol.Engine.
+func (e *Engine) OnDetect(c graph.NodeID, seq int) {
+	k := key{c, seq}
+	if _, dup := e.pending[k]; dup {
+		return
+	}
+	e.ask(c, seq)
+}
+
+func (e *Engine) ask(c graph.NodeID, seq int) {
+	e.s.Net.Unicast(e.s.Topo.Source, sim.Packet{
+		Kind: sim.Request, Seq: seq, From: c, Payload: request{Requester: c},
+	})
+	k := key{c, seq}
+	e.pending[k] = e.s.Eng.NewTimer(
+		e.opt.RetryFactor*e.s.Routes.RTT(c, e.s.Topo.Source),
+		func() {
+			if e.pending[k] == nil {
+				return
+			}
+			delete(e.pending, k)
+			if e.s.Missing(c, seq) {
+				e.ask(c, seq)
+			}
+		})
+}
+
+// OnPacket implements protocol.Engine.
+func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
+	switch pkt.Kind {
+	case sim.Request:
+		pay, ok := pkt.Payload.(request)
+		if !ok || !e.s.Has(host, pkt.Seq) {
+			return
+		}
+		e.s.Net.Unicast(pay.Requester, sim.Packet{Kind: sim.Repair, Seq: pkt.Seq, From: host})
+	case sim.Repair:
+		k := key{host, pkt.Seq}
+		if t := e.pending[k]; t != nil {
+			t.Stop()
+			delete(e.pending, k)
+		}
+	}
+}
+
+// PendingRecoveries reports in-flight recoveries (testing).
+func (e *Engine) PendingRecoveries() int { return len(e.pending) }
+
+var _ protocol.Engine = (*Engine)(nil)

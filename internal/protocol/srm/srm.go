@@ -1,0 +1,305 @@
+// Package srm implements the SRM baseline (Floyd et al., reference [17] of
+// the paper) at the fidelity the paper's comparison requires: when a
+// receiver detects a loss it arms a request-suppression timer drawn from
+// U[C1·d, (C1+C2)·d] (d = its one-way delay estimate to the source); if the
+// timer expires without having seen another member's request for the same
+// packet it multicasts a NACK to the whole group. Any member holding the
+// packet that sees a NACK arms a repair-suppression timer drawn from
+// U[D1·d', (D1+D2)·d'] (d' = distance to the requester) and multicasts the
+// repair if no other repair appears first. Receivers that see a foreign
+// NACK for a packet they also miss suppress their own request and back off
+// exponentially, re-requesting if the repair never arrives.
+//
+// As the paper notes (§1), the suppression timers bound duplicate NACKs and
+// repairs but add multiples of the one-way delay to every recovery, and the
+// global multicasts charge the entire tree — both effects are what Figures
+// 5–8 measure against RP.
+package srm
+
+import (
+	"rmcast/internal/graph"
+	"rmcast/internal/protocol"
+	"rmcast/internal/sim"
+)
+
+// Options holds the SRM timer constants. The defaults (C1=C2=2, D1=D2=1)
+// are the canonical values from the SRM literature; the paper does not
+// override them.
+type Options struct {
+	C1, C2 float64 // request timer window, in units of d(member, source)
+	D1, D2 float64 // repair timer window, in units of d(member, requester)
+	// MaxBackoff caps the exponential request backoff exponent.
+	MaxBackoff int
+	// IgnoreFactor is SRM's repair ignore-window: a member that saw a
+	// repair for seq within IgnoreFactor·d(member, requester) ignores
+	// NACKs for seq — they were sent before that repair could have
+	// reached their senders. Without it, every stale NACK from a slow
+	// loser re-triggers repair floods across all holders. ≤ 0 disables.
+	IgnoreFactor float64
+	// GlobalSuppression enables the paper's idealised SRM cost model:
+	// at most one repair flood per lost packet per network-diameter
+	// window ("the total bandwidth usage for SRM for recovering each
+	// packet is fixed", §5.2). Distributed SRM only approximates this —
+	// equidistant holders race their repair timers and duplicate — so
+	// disabling it yields the honest (chattier) protocol measured by the
+	// SRM-HONEST ablation.
+	GlobalSuppression bool
+	// Adaptive enables the adaptive timer adjustment of Floyd et al.:
+	// each member widens its request/repair windows when it observes
+	// duplicate NACKs/repairs for losses it participated in, and narrows
+	// them when rounds complete without duplication. The adaptation is
+	// per member and multiplicative, bounded to [1, MaxAdapt]× the base
+	// constants.
+	Adaptive bool
+	// MaxAdapt bounds the adaptive multiplier (default 8).
+	MaxAdapt float64
+}
+
+// DefaultOptions returns the canonical SRM constants.
+func DefaultOptions() Options {
+	return Options{C1: 2, C2: 2, D1: 1, D2: 1, MaxBackoff: 8, IgnoreFactor: 3,
+		GlobalSuppression: true, MaxAdapt: 8}
+}
+
+// Engine is the SRM protocol engine.
+type Engine struct {
+	opt Options
+	s   *protocol.Session
+
+	req map[key]*reqState  // per missing (client,seq)
+	rep map[key]*sim.Timer // per (holder,seq) armed repair timer
+	// lastRepair records when a host last saw (or sent) a repair for a
+	// seq, for the ignore window.
+	lastRepair map[key]float64
+	// lastFlood records the last repair-flood time per seq (global
+	// suppression); diameter is the suppression window.
+	lastFlood map[int]float64
+	diameter  float64
+	// Adaptive-timer state, per member: multiplicative widening factors
+	// for the request and repair windows, and duplicate observations.
+	reqScale map[graph.NodeID]float64
+	repScale map[graph.NodeID]float64
+	// reqSeen/repSeen count the NACK/repair floods a member observed per
+	// seq it cared about, to detect duplication.
+	reqSeen map[key]int
+	repSeen map[key]int
+}
+
+type key struct {
+	host graph.NodeID
+	seq  int
+}
+
+type reqState struct {
+	timer   *sim.Timer
+	backoff int
+}
+
+// nack is the payload of an SRM request multicast.
+type nack struct {
+	Requester graph.NodeID
+}
+
+// New returns an SRM engine.
+func New(opt Options) *Engine {
+	if opt.MaxBackoff <= 0 {
+		opt.MaxBackoff = 8
+	}
+	return &Engine{
+		opt:        opt,
+		req:        make(map[key]*reqState),
+		rep:        make(map[key]*sim.Timer),
+		lastRepair: make(map[key]float64),
+		lastFlood:  make(map[int]float64),
+		reqScale:   make(map[graph.NodeID]float64),
+		repScale:   make(map[graph.NodeID]float64),
+		reqSeen:    make(map[key]int),
+		repSeen:    make(map[key]int),
+	}
+}
+
+// Name implements protocol.Engine.
+func (e *Engine) Name() string { return "SRM" }
+
+// Attach implements protocol.Engine.
+func (e *Engine) Attach(s *protocol.Session) {
+	e.s = s
+	// Network diameter bound: twice the deepest root-to-leaf delay. Used
+	// as the global-suppression window.
+	var deep float64
+	for _, c := range s.Clients() {
+		if d := s.Tree.DelayFromRoot[c]; d > deep {
+			deep = d
+		}
+	}
+	e.diameter = 2 * deep
+}
+
+// OnDetect implements protocol.Engine: arm the initial request timer.
+func (e *Engine) OnDetect(c graph.NodeID, seq int) {
+	if _, dup := e.req[key{c, seq}]; dup {
+		return
+	}
+	rs := &reqState{}
+	e.req[key{c, seq}] = rs
+	e.armRequest(c, seq, rs)
+}
+
+// scaleOf returns a member's adaptive widening factor from the given map.
+func (e *Engine) scaleOf(m map[graph.NodeID]float64, host graph.NodeID) float64 {
+	if !e.opt.Adaptive {
+		return 1
+	}
+	if s, ok := m[host]; ok {
+		return s
+	}
+	return 1
+}
+
+// adapt nudges a member's widening factor: duplicates observed → widen
+// (×1.5); a clean round → narrow (×0.95), bounded to [1, MaxAdapt].
+func (e *Engine) adapt(m map[graph.NodeID]float64, host graph.NodeID, dups int) {
+	if !e.opt.Adaptive {
+		return
+	}
+	s := e.scaleOf(m, host)
+	if dups > 0 {
+		s *= 1.5
+	} else {
+		s *= 0.95
+	}
+	maxA := e.opt.MaxAdapt
+	if maxA <= 1 {
+		maxA = 8
+	}
+	if s < 1 {
+		s = 1
+	}
+	if s > maxA {
+		s = maxA
+	}
+	m[host] = s
+}
+
+// armRequest draws the suppression timer U[C1·d, (C1+C2)·d]·2^backoff
+// (widened by the member's adaptive factor) and schedules the NACK.
+func (e *Engine) armRequest(c graph.NodeID, seq int, rs *reqState) {
+	d := e.s.Routes.OneWayDelay(c, e.s.Topo.Source)
+	if d <= 0 {
+		d = 1
+	}
+	scale := float64(int64(1)<<uint(rs.backoff)) * e.scaleOf(e.reqScale, c)
+	delay := (e.opt.C1 + e.opt.C2*e.s.Rand.Float64()) * d * scale
+	rs.timer = e.s.Eng.NewTimer(delay, func() { e.fireRequest(c, seq, rs) })
+}
+
+// fireRequest multicasts the NACK and re-arms with backoff, so a lost
+// repair (or lost NACK) eventually triggers another round.
+func (e *Engine) fireRequest(c graph.NodeID, seq int, rs *reqState) {
+	k := key{c, seq}
+	if e.req[k] != rs {
+		return
+	}
+	if !e.s.Missing(c, seq) {
+		delete(e.req, k)
+		return
+	}
+	e.s.Net.FloodTree(sim.Packet{
+		Kind: sim.Request, Seq: seq, From: c, Payload: nack{Requester: c},
+	})
+	if rs.backoff < e.opt.MaxBackoff {
+		rs.backoff++
+	}
+	e.armRequest(c, seq, rs)
+}
+
+// OnPacket implements protocol.Engine.
+func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
+	switch pkt.Kind {
+	case sim.Request:
+		pay, ok := pkt.Payload.(nack)
+		if !ok {
+			return
+		}
+		e.onNACK(host, pkt.Seq, pay.Requester)
+	case sim.Repair:
+		// Repair suppression: cancel our own pending repair for this seq
+		// and open the ignore window for stale NACKs.
+		k := key{host, pkt.Seq}
+		e.lastRepair[k] = e.s.Eng.Now()
+		e.repSeen[k]++
+		if t := e.rep[k]; t != nil {
+			t.Stop()
+			delete(e.rep, k)
+			// We were about to repair and someone beat us: if this is
+			// the 2nd+ repair we see, the repair window is too tight.
+			e.adapt(e.repScale, host, e.repSeen[k]-1)
+		}
+		// If we were a requester, the session has marked us recovered;
+		// drop the request state and adapt on observed NACK duplication.
+		if rs := e.req[k]; rs != nil && !e.s.Missing(host, pkt.Seq) {
+			rs.timer.Stop()
+			delete(e.req, k)
+			e.adapt(e.reqScale, host, e.reqSeen[k]-1)
+		}
+	}
+}
+
+// onNACK handles a foreign request seen at host.
+func (e *Engine) onNACK(host graph.NodeID, seq int, requester graph.NodeID) {
+	k := key{host, seq}
+	e.reqSeen[k]++
+	if e.s.Has(host, seq) {
+		// Candidate repairer: arm a repair-suppression timer unless one
+		// is already pending for this seq.
+		if _, pending := e.rep[k]; pending {
+			return
+		}
+		d := e.s.Routes.OneWayDelay(host, requester)
+		if d <= 0 {
+			d = 1
+		}
+		// Ignore window: a recent repair makes this NACK stale.
+		if e.opt.IgnoreFactor > 0 {
+			if at, ok := e.lastRepair[k]; ok && e.s.Eng.Now()-at < e.opt.IgnoreFactor*d {
+				return
+			}
+		}
+		delay := (e.opt.D1 + e.opt.D2*e.s.Rand.Float64()) * d * e.scaleOf(e.repScale, host)
+		e.rep[k] = e.s.Eng.NewTimer(delay, func() { e.fireRepair(host, seq) })
+		return
+	}
+	// Request suppression: we miss it too and someone already asked —
+	// back off our own request and wait for the shared repair.
+	if rs := e.req[k]; rs != nil && rs.timer.Stop() {
+		if rs.backoff < e.opt.MaxBackoff {
+			rs.backoff++
+		}
+		e.armRequest(host, seq, rs)
+	}
+}
+
+// fireRepair multicasts the repair to the whole group.
+func (e *Engine) fireRepair(host graph.NodeID, seq int) {
+	k := key{host, seq}
+	if e.rep[k] == nil {
+		return
+	}
+	delete(e.rep, k)
+	if !e.s.Has(host, seq) {
+		return // defensive: cannot repair what we do not hold
+	}
+	if e.opt.GlobalSuppression {
+		if at, ok := e.lastFlood[seq]; ok && e.s.Eng.Now()-at < e.diameter {
+			return // idealised model: one flood per packet per window
+		}
+		e.lastFlood[seq] = e.s.Eng.Now()
+	}
+	e.lastRepair[k] = e.s.Eng.Now()
+	e.s.Net.FloodTree(sim.Packet{Kind: sim.Repair, Seq: seq, From: host})
+}
+
+// PendingRequests reports in-flight request states (testing).
+func (e *Engine) PendingRequests() int { return len(e.req) }
+
+var _ protocol.Engine = (*Engine)(nil)

@@ -1,0 +1,151 @@
+// Package rng provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: a
+// simulation run is fully determined by its seed, so every stochastic
+// component (topology generation, link delays, per-packet loss draws,
+// protocol timers) draws from an rng.Rand seeded from the experiment
+// configuration. Independent streams are derived with Split, which uses a
+// splitmix64 finalizer so that derived streams are statistically independent
+// of the parent and of each other.
+//
+// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+// splitmix64 as its authors recommend. It is not safe for concurrent use;
+// callers that need parallelism should Split one stream per goroutine.
+package rng
+
+import "math"
+
+// Rand is a deterministic xoshiro256++ PRNG stream.
+type Rand struct {
+	s [4]uint64
+}
+
+// splitmix64 advances *x and returns the next splitmix64 output. It is used
+// for seeding and stream splitting only.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Any seed, including zero, yields
+// a valid, non-degenerate state.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	return r
+}
+
+// Split derives a new, statistically independent stream from r. The parent
+// stream advances by one step, so repeated Split calls yield distinct
+// children, and the derivation is itself deterministic.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's multiply-shift
+// rejection method, which avoids the modulo bias of naive reduction.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	// Rejection sampling over the top of the range.
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Uniform returns a uniform float64 in [lo, hi). It panics if hi < lo.
+func (r *Rand) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Uniform called with hi < lo")
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bool returns true with probability p. Probabilities outside [0,1] are
+// clamped, so Bool(1.1) is always true and Bool(-0.1) always false.
+func (r *Rand) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher–Yates, back-to-front).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate lambda
+// (mean 1/lambda), via inverse-transform sampling. It panics if lambda <= 0.
+func (r *Rand) ExpFloat64(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: ExpFloat64 called with non-positive rate")
+	}
+	// 1-Float64() is in (0, 1], so Log never sees zero.
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// State returns a copy of the internal state, for snapshotting in tests.
+func (r *Rand) State() [4]uint64 { return r.s }

@@ -1,0 +1,125 @@
+// Package route implements the unicast routing substrate. The paper (§3.1)
+// assumes OSPF-style routing where "the routing table will give an estimate
+// of one-way delay between u and v_j"; unicast packets in the simulation
+// "are routed along paths that minimize expected value of round trip time"
+// (§5.1). Both are realised here as per-destination shortest-path trees
+// over the realised link delays, computed with Dijkstra.
+//
+// Because link delays are symmetric, the shortest-path tree rooted at a
+// destination simultaneously provides (a) the one-way delay estimate from
+// every node, and (b) the next hop of every node toward that destination —
+// which is exactly the state an OSPF router would hold. The simulator
+// forwards unicast packets hop-by-hop through NextHop so that per-link loss
+// applies to every traversed link, as it would in a real network.
+package route
+
+import (
+	"fmt"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/topology"
+)
+
+// Router is the routing interface the simulator, the planner, and the
+// protocol engines consume: one-way delay estimates ("the routing table
+// will give an estimate of one-way delay", §3.1), next hops for hop-by-hop
+// unicast forwarding, and path metadata. Tables is the omniscient oracle
+// implementation; internal/lsr provides a distributed link-state
+// implementation whose estimates carry measurement noise.
+type Router interface {
+	// OneWayDelay estimates the one-way delay from a to b (ms).
+	OneWayDelay(a, b graph.NodeID) float64
+	// RTT estimates the round-trip time between a and b (ms).
+	RTT(a, b graph.NodeID) float64
+	// NextHop returns the next node and link from cur toward dest,
+	// or (None, NoEdge) when cur == dest or dest is unreachable.
+	NextHop(cur, dest graph.NodeID) (graph.NodeID, graph.EdgeID)
+	// Path returns the node path a→b (inclusive), nil if unreachable.
+	Path(a, b graph.NodeID) []graph.NodeID
+	// Hops returns the hop count of the a→b path (-1 if unreachable).
+	Hops(a, b graph.NodeID) int
+	// Prepare ensures routing state exists for destination d.
+	Prepare(d graph.NodeID)
+}
+
+// Tables holds shortest-path routing state for a set of destinations.
+type Tables struct {
+	net *topology.Network
+	sp  map[graph.NodeID]*graph.ShortestPaths
+}
+
+var _ Router = (*Tables)(nil)
+
+// Build computes routing tables for every host (source and clients) of the
+// network — the only unicast destinations the recovery protocols use.
+// Additional destinations can be added later with Prepare.
+func Build(net *topology.Network) *Tables {
+	t := &Tables{net: net, sp: make(map[graph.NodeID]*graph.ShortestPaths)}
+	t.Prepare(net.Source)
+	for _, c := range net.Clients {
+		t.Prepare(c)
+	}
+	return t
+}
+
+// Prepare ensures a routing table exists for destination d.
+func (t *Tables) Prepare(d graph.NodeID) {
+	if _, ok := t.sp[d]; ok {
+		return
+	}
+	t.sp[d] = graph.Dijkstra(t.net.G, d, t.net.DelayWeights())
+}
+
+func (t *Tables) table(d graph.NodeID) *graph.ShortestPaths {
+	sp, ok := t.sp[d]
+	if !ok {
+		panic(fmt.Sprintf("route: no table for destination %d (call Prepare)", d))
+	}
+	return sp
+}
+
+// OneWayDelay returns the minimum one-way delay from a to b (ms). This is
+// the paper's routing-table delay estimate d̂(a,b).
+func (t *Tables) OneWayDelay(a, b graph.NodeID) float64 {
+	return t.table(b).Dist[a]
+}
+
+// RTT returns the round-trip-time estimate between a and b: twice the
+// one-way delay, per §3.1 ("round trip time (over twice the one-way
+// delay)"). Queueing inflation is modelled by the simulator, not here.
+func (t *Tables) RTT(a, b graph.NodeID) float64 {
+	return 2 * t.OneWayDelay(a, b)
+}
+
+// NextHop returns the next node and link on the shortest path from cur
+// toward dest. It returns (None, NoEdge) when cur == dest or dest is
+// unreachable.
+func (t *Tables) NextHop(cur, dest graph.NodeID) (graph.NodeID, graph.EdgeID) {
+	if cur == dest {
+		return graph.None, graph.NoEdge
+	}
+	sp := t.table(dest)
+	return sp.Parent[cur], sp.ParentEdge[cur]
+}
+
+// Path returns the node path a→b (inclusive), or nil if unreachable.
+func (t *Tables) Path(a, b graph.NodeID) []graph.NodeID {
+	p := t.table(b).PathTo(a)
+	if p == nil {
+		return nil
+	}
+	// PathTo gives b→a (tree is rooted at b); reverse into a→b.
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Hops returns the hop count of the shortest-delay path a→b.
+func (t *Tables) Hops(a, b graph.NodeID) int {
+	p := t.Path(a, b)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}

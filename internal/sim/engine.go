@@ -1,0 +1,151 @@
+// Package sim provides the discrete-event packet-level simulator of §5.1:
+// a deterministic event engine plus a simulated network layer that forwards
+// unicast packets along minimum-delay paths and multicast packets along the
+// multicast tree, applying independent per-link Bernoulli loss and fixed
+// per-link delay.
+//
+// Per the paper, "unlike a real network, the link delay and loss properties
+// are independent of the number of packets traversing the link" — there is
+// deliberately no queueing or congestion model, which (as the paper notes)
+// biases in favour of the chattier protocols SRM and RMA, making RP's
+// measured advantage conservative.
+//
+// Determinism: all randomness flows through one rng.Rand owned by the
+// caller, and simultaneous events fire in schedule order (a monotone
+// sequence number breaks time ties), so a run is a pure function of its
+// seed and configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event scheduler. Times are float64 milliseconds.
+type Engine struct {
+	now float64
+	seq uint64
+	pq  eventHeap
+	// processed counts executed events, for loop detection in tests and
+	// run-away guards in the harness.
+	processed uint64
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NewEngine returns an engine at time 0 with an empty calendar.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time (ms).
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of scheduled, not-yet-fired events.
+func (e *Engine) Pending() int { return e.pq.Len() }
+
+// Schedule runs fn at absolute time at. Scheduling in the past or at a
+// non-finite time panics: it is always a protocol bug.
+func (e *Engine) Schedule(at float64, fn func()) {
+	if at < e.now || math.IsNaN(at) || math.IsInf(at, 0) {
+		panic(fmt.Sprintf("sim: schedule at %v with now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d milliseconds from now.
+func (e *Engine) After(d float64, fn func()) { e.Schedule(e.now+d, fn) }
+
+// Step executes the next event, returning false when the calendar is empty.
+func (e *Engine) Step() bool {
+	if e.pq.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the calendar is empty or maxEvents have fired
+// (0 means unlimited). It returns the number of events executed.
+func (e *Engine) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for e.Step() {
+		n++
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+	}
+	return n
+}
+
+// RunUntil executes events with timestamps ≤ t and then advances the clock
+// to t (if the calendar ran dry earlier).
+func (e *Engine) RunUntil(t float64) {
+	for e.pq.Len() > 0 && e.pq[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	stopped bool
+	fired   bool
+}
+
+// NewTimer schedules fn after d ms and returns a handle that can Stop it.
+func (e *Engine) NewTimer(d float64, fn func()) *Timer {
+	t := &Timer{}
+	e.After(d, func() {
+		if t.stopped {
+			return
+		}
+		t.fired = true
+		fn()
+	})
+	return t
+}
+
+// Stop cancels the timer if it has not fired; it reports whether the call
+// prevented the callback.
+func (t *Timer) Stop() bool {
+	if t.fired || t.stopped {
+		return false
+	}
+	t.stopped = true
+	return true
+}
+
+// Fired reports whether the callback ran.
+func (t *Timer) Fired() bool { return t.fired }

@@ -1,0 +1,379 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/mtree"
+	"rmcast/internal/rng"
+	"rmcast/internal/route"
+	"rmcast/internal/topology"
+)
+
+// Kind classifies simulated packets.
+type Kind uint8
+
+const (
+	// Data is an original multicast data packet from the source.
+	Data Kind = iota
+	// Request is a recovery request (RP/RMA unicast request, SRM NACK).
+	Request
+	// Repair is a retransmission of a lost data packet.
+	Repair
+)
+
+// String returns the packet kind name.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Request:
+		return "request"
+	case Repair:
+		return "repair"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Packet is one simulated packet. Protocols attach their state via Payload.
+type Packet struct {
+	Kind Kind
+	// Seq is the data sequence number this packet concerns.
+	Seq int
+	// From is the transmitting host.
+	From graph.NodeID
+	// Payload carries protocol-specific fields (never inspected here).
+	Payload interface{}
+}
+
+// Handler receives packets delivered to a host.
+type Handler func(pkt Packet)
+
+// HopCount tallies link traversals by packet kind. One traversal of one
+// link by one packet counts one hop, whether or not the link then drops
+// the packet (the transmission happened) — this is the paper's bandwidth
+// measure, "average bandwidth usage per packet recovered (hops)".
+type HopCount struct {
+	Data, Request, Repair int64
+}
+
+// Recovery returns the recovery-traffic hops (requests + repairs).
+func (h HopCount) Recovery() int64 { return h.Request + h.Repair }
+
+func (h *HopCount) add(k Kind, n int64) {
+	switch k {
+	case Data:
+		h.Data += n
+	case Request:
+		h.Request += n
+	case Repair:
+		h.Repair += n
+	}
+}
+
+// Net is the simulated network: topology + tree + routing + loss, glued to
+// an event engine. It delivers packets to per-host handlers.
+type Net struct {
+	Eng    *Engine
+	Topo   *topology.Network
+	Tree   *mtree.Tree
+	Routes route.Router
+	// Hops accumulates the bandwidth accounting.
+	Hops HopCount
+	// Drops counts packets killed by link loss, by kind.
+	Drops HopCount
+	// ControlLoss subjects Request/Repair packets to per-link loss like
+	// data. The paper's evaluation implicitly keeps recovery traffic
+	// lossless — §3.1 "the probability that the request or the repair is
+	// lost is ignored", and Figures 7/8's flat latency up to p=20% is
+	// only possible under that assumption — so false is the default and
+	// the faithful setting; true enables the harsher model exercised by
+	// the failure-injection tests and robustness benchmarks.
+	ControlLoss bool
+	// OnSend, when non-nil, observes every packet injection (one call per
+	// Unicast/flood, not per hop). OnDrop observes per-link losses. Both
+	// exist for tracing; nil hooks cost nothing.
+	OnSend func(pkt Packet)
+	OnDrop func(pkt Packet, link graph.EdgeID)
+	// Jitter adds per-traversal queueing variability: each link crossing
+	// takes Delay·(1 + Jitter·U[0,1)) instead of the fixed Delay. The
+	// paper's model has no queueing ("link delay … independent of the
+	// number of packets traversing the link"), so zero is the default;
+	// positive values stress the protocols' timeout margins (their RTT
+	// estimates remain the no-jitter values).
+	Jitter float64
+	// Queue, when non-nil, enables the store-and-forward congestion model
+	// (see QueueModel): forwarding becomes hop-by-hop events and bursts
+	// serialise per link direction.
+	Queue *QueueModel
+
+	r        *rng.Rand
+	handlers []Handler
+	// treeAdj is adjacency restricted to tree links, for flood traversal.
+	treeAdj [][]graph.Half
+}
+
+// NewNet wires a network simulation over the given substrate. The rng
+// stream is owned by the Net afterwards (loss draws must not interleave
+// with other users).
+func NewNet(eng *Engine, topo *topology.Network, tree *mtree.Tree, routes route.Router, r *rng.Rand) *Net {
+	n := &Net{
+		Eng:      eng,
+		Topo:     topo,
+		Tree:     tree,
+		Routes:   routes,
+		r:        r,
+		handlers: make([]Handler, topo.NumNodes()),
+		treeAdj:  make([][]graph.Half, topo.NumNodes()),
+	}
+	for _, id := range topo.TreeEdges {
+		e := topo.G.Edge(id)
+		n.treeAdj[e.A] = append(n.treeAdj[e.A], graph.Half{Edge: id, Peer: e.B})
+		n.treeAdj[e.B] = append(n.treeAdj[e.B], graph.Half{Edge: id, Peer: e.A})
+	}
+	return n
+}
+
+// SetHandler registers the packet upcall for a host.
+func (n *Net) SetHandler(node graph.NodeID, h Handler) { n.handlers[node] = h }
+
+// deliver schedules the handler upcall for node at absolute time at.
+func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
+	if h := n.handlers[node]; h != nil {
+		n.Eng.Schedule(at, func() { h(pkt) })
+	}
+}
+
+// crossLink charges one hop for the packet and draws the link's loss; it
+// reports whether the packet survived.
+func (n *Net) crossLink(link graph.EdgeID, pkt Packet) bool {
+	n.Hops.add(pkt.Kind, 1)
+	if pkt.Kind != Data && !n.ControlLoss {
+		return true
+	}
+	if n.r.Bool(n.Topo.Loss[link]) {
+		n.Drops.add(pkt.Kind, 1)
+		if n.OnDrop != nil {
+			n.OnDrop(pkt, link)
+		}
+		return false
+	}
+	return true
+}
+
+// noteSend fires the OnSend hook.
+func (n *Net) noteSend(pkt Packet) {
+	if n.OnSend != nil {
+		n.OnSend(pkt)
+	}
+}
+
+// linkDelay returns the traversal time of one link for one packet,
+// including jitter when configured.
+func (n *Net) linkDelay(link graph.EdgeID) float64 {
+	d := n.Topo.Delay[link]
+	if n.Jitter > 0 {
+		d *= 1 + n.Jitter*n.r.Float64()
+	}
+	return d
+}
+
+// Unicast sends pkt from pkt.From to dest along the minimum-delay path,
+// applying per-link delay and loss. The delivery (if the packet survives
+// every link) is scheduled relative to the current time. It reports the
+// packet's fate and the end-to-end delay for testing; protocols normally
+// ignore the return values (they cannot observe them without cheating).
+func (n *Net) Unicast(dest graph.NodeID, pkt Packet) (delivered bool, delay float64) {
+	n.noteSend(pkt)
+	cur := pkt.From
+	if cur == dest {
+		n.deliver(dest, n.Eng.Now(), pkt)
+		return true, 0
+	}
+	if n.Queue != nil {
+		// Hop-by-hop events: the fate is unknowable at injection time.
+		n.unicastQueued(dest, pkt)
+		return false, math.NaN()
+	}
+	var acc float64
+	for cur != dest {
+		next, link := n.Routes.NextHop(cur, dest)
+		if next == graph.None {
+			panic(fmt.Sprintf("sim: no route %d→%d", cur, dest))
+		}
+		acc += n.linkDelay(link)
+		if !n.crossLink(link, pkt) {
+			return false, acc
+		}
+		cur = next
+	}
+	n.deliver(dest, n.Eng.Now()+acc, pkt)
+	return true, acc
+}
+
+// FloodTree multicasts pkt over the whole multicast tree outward from
+// pkt.From (which must be a tree node), the way an SRM member's multicast
+// reaches the entire group. Each tree link is traversed once (subject to
+// loss pruning); every host reached gets a delivery at its tree-path delay.
+func (n *Net) FloodTree(pkt Packet) {
+	n.noteSend(pkt)
+	if n.Queue != nil {
+		n.floodQueued(pkt.From, graph.NoEdge, pkt)
+		return
+	}
+	n.floodFrom(pkt.From, graph.None, 0, pkt)
+}
+
+// floodFrom walks tree links outward from cur (skipping the link back to
+// prev), delivering to hosts along the way.
+func (n *Net) floodFrom(cur, prev graph.NodeID, acc float64, pkt Packet) {
+	type fr struct {
+		cur, prev graph.NodeID
+		acc       float64
+	}
+	stack := []fr{{cur, prev, acc}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range n.treeAdj[f.cur] {
+			if h.Peer == f.prev {
+				continue
+			}
+			d := f.acc + n.linkDelay(h.Edge)
+			if !n.crossLink(h.Edge, pkt) {
+				continue // prune the subtree behind the lossy link
+			}
+			if n.handlers[h.Peer] != nil {
+				n.deliver(h.Peer, n.Eng.Now()+d, pkt)
+			}
+			stack = append(stack, fr{h.Peer, f.cur, d})
+		}
+	}
+}
+
+// MulticastSubtree sends pkt from a host up the tree to the router meet and
+// then multicast down meet's whole subtree — RMA's partial repair (§1: the
+// repairer "will multicast the repair to the subtree that contains all the
+// receivers that have been requested"). pkt.From must be a tree descendant
+// of meet (or meet itself).
+func (n *Net) MulticastSubtree(meet graph.NodeID, pkt Packet) {
+	if !n.Tree.IsAncestor(meet, pkt.From) {
+		panic(fmt.Sprintf("sim: %d not an ancestor of repairer %d", meet, pkt.From))
+	}
+	n.noteSend(pkt)
+	if n.Queue != nil {
+		n.ascendQueued(meet, pkt, func() {
+			if h := n.handlers[meet]; h != nil {
+				h(pkt)
+			}
+			n.subtreeFloodQueued(meet, pkt)
+		})
+		return
+	}
+	// Walk up from the repairer to meet.
+	var acc float64
+	cur := pkt.From
+	for cur != meet {
+		link := n.Tree.ParentLink[cur]
+		acc += n.linkDelay(link)
+		if !n.crossLink(link, pkt) {
+			return // repair died on the way up
+		}
+		cur = n.Tree.Parent[cur]
+	}
+	// Deliver to meet itself if it is a host (it normally is a router).
+	if n.handlers[meet] != nil {
+		n.deliver(meet, n.Eng.Now()+acc, pkt)
+	}
+	// Flood downward, excluding the uplink we came from (upward direction
+	// has no tree children anyway: floodFrom with prev = parent(meet)).
+	n.subtreeFlood(meet, acc, pkt)
+}
+
+// subtreeFlood delivers pkt to every host strictly below root.
+func (n *Net) subtreeFlood(root graph.NodeID, acc float64, pkt Packet) {
+	type fr struct {
+		node graph.NodeID
+		acc  float64
+	}
+	stack := []fr{{root, acc}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i, c := range n.Tree.Children[f.node] {
+			link := n.Tree.ChildLink[f.node][i]
+			d := f.acc + n.linkDelay(link)
+			if !n.crossLink(link, pkt) {
+				continue
+			}
+			if n.handlers[c] != nil {
+				n.deliver(c, n.Eng.Now()+d, pkt)
+			}
+			stack = append(stack, fr{c, d})
+		}
+	}
+}
+
+// MulticastDescend sends pkt from pkt.From (which must be a tree ancestor
+// of sub) down the tree path to router sub and then multicast over sub's
+// whole subtree. This models a source-subgroup repair (paper §2.2 /
+// reference [4]): "whenever S receives a recovery request, it will
+// multicast the packet to all members of the subgroup (using the original
+// multicast tree) from where the recovery request came".
+func (n *Net) MulticastDescend(sub graph.NodeID, pkt Packet) {
+	if !n.Tree.IsAncestor(pkt.From, sub) {
+		panic(fmt.Sprintf("sim: %d not an ancestor of subgroup root %d", pkt.From, sub))
+	}
+	n.noteSend(pkt)
+	if n.Queue != nil {
+		n.descendQueued(sub, pkt, func() {
+			if h := n.handlers[sub]; h != nil {
+				h(pkt)
+			}
+			n.subtreeFloodQueued(sub, pkt)
+		})
+		return
+	}
+	var acc float64
+	cur := sub
+	// Collect the downward path by walking up, then cross it top-down.
+	var path []graph.NodeID
+	for cur != pkt.From {
+		path = append(path, cur)
+		cur = n.Tree.Parent[cur]
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		link := n.Tree.ParentLink[path[i]]
+		acc += n.linkDelay(link)
+		if !n.crossLink(link, pkt) {
+			return
+		}
+	}
+	if n.handlers[sub] != nil {
+		n.deliver(sub, n.Eng.Now()+acc, pkt)
+	}
+	n.subtreeFlood(sub, acc, pkt)
+}
+
+// MulticastFromSource floods pkt from the tree root downward — the original
+// data transmission. Equivalent to FloodTree from the source but named for
+// clarity at call sites.
+func (n *Net) MulticastFromSource(pkt Packet) {
+	if pkt.From != n.Tree.Root {
+		panic("sim: MulticastFromSource from non-root")
+	}
+	n.noteSend(pkt)
+	if n.Queue != nil {
+		n.subtreeFloodQueued(n.Tree.Root, pkt)
+		return
+	}
+	n.subtreeFlood(n.Tree.Root, 0, pkt)
+}
+
+// WouldArrive returns the loss-free tree-path delay from the source to a
+// host — the time a data packet sent now would reach it. Protocol engines
+// use it for idealised loss-detection timing (see package protocol).
+func (n *Net) WouldArrive(host graph.NodeID) float64 {
+	return n.Tree.DelayFromRoot[host]
+}

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+
+	"rmcast/internal/graph"
+)
+
+// QueueModel adds store-and-forward queueing to the network: every link
+// direction is a FIFO server that takes PacketTime ms to transmit one
+// packet, so bursts serialise and chatty protocols congest shared links.
+//
+// The paper's simulator deliberately omits this ("unlike a real network,
+// the link delay and loss properties are independent of the number of
+// packets traversing the link") and notes the omission favours SRM and RMA,
+// which "generate more data". Enabling the model quantifies that bias:
+// whole-tree floods now pay for themselves in queueing delay.
+//
+// With a QueueModel attached the network forwards hop by hop through real
+// events (a packet's fate at a link depends on traffic that reaches the
+// link earlier in simulated time), instead of precomputing whole paths at
+// injection time.
+type QueueModel struct {
+	// PacketTime is the per-packet transmission (service) time per link
+	// direction, ms.
+	PacketTime float64
+
+	busyUntil map[qkey]float64
+}
+
+type qkey struct {
+	link  graph.EdgeID
+	fromA bool
+}
+
+// NewQueueModel returns a queue model with the given per-packet service
+// time.
+func NewQueueModel(packetTime float64) *QueueModel {
+	if packetTime <= 0 {
+		panic(fmt.Sprintf("sim: non-positive packet time %v", packetTime))
+	}
+	return &QueueModel{PacketTime: packetTime, busyUntil: make(map[qkey]float64)}
+}
+
+// departAfter reserves the link direction starting no earlier than `at` and
+// returns the transmission-complete time. Must be called in nondecreasing
+// event-time order per direction, which the event engine guarantees.
+func (q *QueueModel) departAfter(link graph.EdgeID, fromA bool, at float64) float64 {
+	k := qkey{link, fromA}
+	start := at
+	if b := q.busyUntil[k]; b > start {
+		start = b
+	}
+	dep := start + q.PacketTime
+	q.busyUntil[k] = dep
+	return dep
+}
+
+// Backlog returns the current queueing backlog (ms of work beyond `now`)
+// on a link direction — visibility for tests and congestion metrics.
+func (q *QueueModel) Backlog(link graph.EdgeID, fromA bool, now float64) float64 {
+	b := q.busyUntil[qkey{link, fromA}] - now
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// sendHop transmits pkt across one link starting at time `at` (event time),
+// applying queueing, jitter, and loss, and returns the arrival time at the
+// far end and whether the packet survived. from must be an endpoint.
+func (n *Net) sendHop(link graph.EdgeID, from graph.NodeID, at float64, pkt Packet) (float64, bool) {
+	e := n.Topo.G.Edge(link)
+	dep := at
+	if n.Queue != nil {
+		dep = n.Queue.departAfter(link, e.A == from, at)
+	}
+	if !n.crossLink(link, pkt) {
+		return dep, false
+	}
+	return dep + n.linkDelay(link), true
+}
+
+// unicastQueued forwards pkt hop by hop through real events.
+func (n *Net) unicastQueued(dest graph.NodeID, pkt Packet) {
+	var step func(cur graph.NodeID)
+	step = func(cur graph.NodeID) {
+		if cur == dest {
+			if h := n.handlers[dest]; h != nil {
+				h(pkt)
+			}
+			return
+		}
+		next, link := n.Routes.NextHop(cur, dest)
+		if next == graph.None {
+			panic(fmt.Sprintf("sim: no route %d→%d", cur, dest))
+		}
+		arrive, ok := n.sendHop(link, cur, n.Eng.Now(), pkt)
+		if !ok {
+			return
+		}
+		n.Eng.Schedule(arrive, func() { step(next) })
+	}
+	step(pkt.From)
+}
+
+// floodQueued floods pkt over tree links outward from start (skipping
+// fromLink), hop by hop through real events, delivering to hosts en route.
+func (n *Net) floodQueued(start graph.NodeID, fromLink graph.EdgeID, pkt Packet) {
+	var visit func(node graph.NodeID, via graph.EdgeID)
+	visit = func(node graph.NodeID, via graph.EdgeID) {
+		if node != start {
+			if h := n.handlers[node]; h != nil {
+				h(pkt)
+			}
+		}
+		for _, half := range n.treeAdj[node] {
+			if half.Edge == via {
+				continue
+			}
+			peer, link := half.Peer, half.Edge
+			arrive, ok := n.sendHop(link, node, n.Eng.Now(), pkt)
+			if !ok {
+				continue
+			}
+			n.Eng.Schedule(arrive, func() { visit(peer, link) })
+		}
+	}
+	visit(start, fromLink)
+}
+
+// subtreeFloodQueued floods pkt strictly downward from root through real
+// events, starting at the given time offset already elapsed.
+func (n *Net) subtreeFloodQueued(root graph.NodeID, pkt Packet) {
+	var visit func(node graph.NodeID)
+	visit = func(node graph.NodeID) {
+		if h := n.handlers[node]; h != nil && node != root {
+			h(pkt)
+		}
+		for i, c := range n.Tree.Children[node] {
+			link := n.Tree.ChildLink[node][i]
+			child := c
+			arrive, ok := n.sendHop(link, node, n.Eng.Now(), pkt)
+			if !ok {
+				continue
+			}
+			n.Eng.Schedule(arrive, func() { visit(child) })
+		}
+	}
+	visit(root)
+}
+
+// ascendQueued walks pkt up the tree from pkt.From to meet through real
+// events, then calls done at the arrival event (or never, on loss).
+func (n *Net) ascendQueued(meet graph.NodeID, pkt Packet, done func()) {
+	var step func(cur graph.NodeID)
+	step = func(cur graph.NodeID) {
+		if cur == meet {
+			done()
+			return
+		}
+		link := n.Tree.ParentLink[cur]
+		parent := n.Tree.Parent[cur]
+		arrive, ok := n.sendHop(link, cur, n.Eng.Now(), pkt)
+		if !ok {
+			return
+		}
+		n.Eng.Schedule(arrive, func() { step(parent) })
+	}
+	step(pkt.From)
+}
+
+// descendQueued walks pkt down the tree from pkt.From to sub through real
+// events, then calls done at arrival.
+func (n *Net) descendQueued(sub graph.NodeID, pkt Packet, done func()) {
+	// Collect the top-down path.
+	var path []graph.NodeID
+	for cur := sub; cur != pkt.From; cur = n.Tree.Parent[cur] {
+		path = append(path, cur)
+	}
+	// path is bottom-up; walk it from the end.
+	idx := len(path) - 1
+	var step func(at graph.NodeID)
+	step = func(at graph.NodeID) {
+		if idx < 0 {
+			done()
+			return
+		}
+		next := path[idx]
+		idx--
+		link := n.Tree.ParentLink[next]
+		arrive, ok := n.sendHop(link, at, n.Eng.Now(), pkt)
+		if !ok {
+			return
+		}
+		n.Eng.Schedule(arrive, func() { step(next) })
+	}
+	step(pkt.From)
+}

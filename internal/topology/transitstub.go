@@ -1,0 +1,168 @@
+package topology
+
+import (
+	"fmt"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+)
+
+// Transit-stub generation (Zegura/Calvert/Bhattacharjee's GT-ITM model, the
+// third standard topology family in multicast simulation literature next to
+// flat-random and Waxman): a small core of interconnected *transit* domains
+// of fast long-haul routers, with *stub* domains of local routers hanging
+// off transit attachment points. Hosts (and hence multicast clients) end up
+// concentrated in stubs, giving the two-level locality structure real
+// internetworks have — nearby clients share almost their entire path from
+// the source, which is exactly the regime where RP's competitive-class
+// pruning matters.
+
+// TransitStubParams shapes the hierarchy. Zero values take defaults.
+type TransitStubParams struct {
+	// TransitDomains is the number of core domains (default 3).
+	TransitDomains int
+	// TransitSize is the router count per transit domain (default 4).
+	TransitSize int
+	// StubsPerTransitNode is the number of stub domains attached to each
+	// transit router (default 2).
+	StubsPerTransitNode int
+	// StubSize is the router count per stub domain (default 5).
+	StubSize int
+	// IntraTransitDelay, InterTransitDelay, TransitStubDelay and
+	// IntraStubDelay are the nominal delay ranges (ms) for each link
+	// class; realised delays still get the §5.1 U[d,2d] draw.
+	IntraTransitDelay [2]float64 // default [4,8]
+	InterTransitDelay [2]float64 // default [10,25]
+	TransitStubDelay  [2]float64 // default [2,5]
+	IntraStubDelay    [2]float64 // default [1,3]
+}
+
+func (p *TransitStubParams) defaults() {
+	if p.TransitDomains <= 0 {
+		p.TransitDomains = 3
+	}
+	if p.TransitSize <= 0 {
+		p.TransitSize = 4
+	}
+	if p.StubsPerTransitNode <= 0 {
+		p.StubsPerTransitNode = 2
+	}
+	if p.StubSize <= 0 {
+		p.StubSize = 5
+	}
+	def := func(r *[2]float64, lo, hi float64) {
+		if (*r)[0] <= 0 || (*r)[1] < (*r)[0] {
+			*r = [2]float64{lo, hi}
+		}
+	}
+	def(&p.IntraTransitDelay, 4, 8)
+	def(&p.InterTransitDelay, 10, 25)
+	def(&p.TransitStubDelay, 2, 5)
+	def(&p.IntraStubDelay, 1, 3)
+}
+
+// Routers returns the total router count the parameters produce.
+func (p TransitStubParams) Routers() int {
+	q := p
+	q.defaults()
+	perTransit := q.TransitSize * (1 + q.StubsPerTransitNode*q.StubSize)
+	return q.TransitDomains * perTransit
+}
+
+// GenerateTransitStub builds a transit-stub backbone, then applies the
+// standard pipeline: a multicast tree over the whole graph, host
+// attachment, delays, and uniform loss. The cfg's Routers field is ignored
+// (the hierarchy determines the count); its tree/host/loss fields apply.
+func GenerateTransitStub(cfg Config, ts TransitStubParams, r *rng.Rand) (*Network, error) {
+	ts.defaults()
+	cfg.Routers = ts.Routers()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	net := &Network{G: graph.New(0)}
+	for i := 0; i < cfg.Routers; i++ {
+		net.addNode(Router)
+	}
+
+	// connectDomain wires the given routers as a random connected
+	// subgraph with one extra chord when large enough.
+	connectDomain := func(nodes []graph.NodeID, delay [2]float64) {
+		perm := r.Perm(len(nodes))
+		for i := 1; i < len(nodes); i++ {
+			a := nodes[perm[i]]
+			b := nodes[perm[r.Intn(i)]]
+			net.addLink(a, b, r.Uniform(delay[0], delay[1]), r)
+		}
+		if len(nodes) >= 4 {
+			a := nodes[r.Intn(len(nodes))]
+			b := nodes[r.Intn(len(nodes))]
+			if a != b && !net.G.HasEdgeBetween(a, b) {
+				net.addLink(a, b, r.Uniform(delay[0], delay[1]), r)
+			}
+		}
+	}
+
+	// Transit domains.
+	transit := make([][]graph.NodeID, ts.TransitDomains)
+	next := 0
+	take := func(n int) []graph.NodeID {
+		out := make([]graph.NodeID, n)
+		for i := range out {
+			out[i] = graph.NodeID(next)
+			next++
+		}
+		return out
+	}
+	for d := range transit {
+		transit[d] = take(ts.TransitSize)
+		connectDomain(transit[d], ts.IntraTransitDelay)
+	}
+	// Inter-transit: ring of domains plus one random chord pair each.
+	for d := range transit {
+		e := (d + 1) % ts.TransitDomains
+		if e == d {
+			break
+		}
+		a := transit[d][r.Intn(len(transit[d]))]
+		b := transit[e][r.Intn(len(transit[e]))]
+		if !net.G.HasEdgeBetween(a, b) {
+			net.addLink(a, b, r.Uniform(ts.InterTransitDelay[0], ts.InterTransitDelay[1]), r)
+		}
+	}
+
+	// Stub domains per transit router.
+	for d := range transit {
+		for _, tr := range transit[d] {
+			for sdom := 0; sdom < ts.StubsPerTransitNode; sdom++ {
+				stub := take(ts.StubSize)
+				connectDomain(stub, ts.IntraStubDelay)
+				gw := stub[r.Intn(len(stub))]
+				net.addLink(tr, gw, r.Uniform(ts.TransitStubDelay[0], ts.TransitStubDelay[1]), r)
+			}
+		}
+	}
+	if next != cfg.Routers {
+		return nil, fmt.Errorf("topology: transit-stub wired %d of %d routers", next, cfg.Routers)
+	}
+
+	// Standard pipeline from here: tree, hosts, loss.
+	var rootRouter graph.NodeID
+	var leaves []graph.NodeID
+	switch cfg.Tree {
+	case RandomTree:
+		rootRouter, leaves = buildRandomTree(net, cfg, r)
+	case ShortestPathTree:
+		rootRouter, leaves = buildShortestPathTree(net, cfg, r)
+	default:
+		return nil, fmt.Errorf("topology: unknown tree kind %d", cfg.Tree)
+	}
+	attachHosts(net, cfg, rootRouter, leaves, r)
+	net.SetUniformLoss(cfg.LossProb)
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if len(net.Clients) == 0 {
+		return nil, fmt.Errorf("topology: transit-stub generation produced zero clients")
+	}
+	return net, nil
+}

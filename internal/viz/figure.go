@@ -1,0 +1,103 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"rmcast/internal/experiment"
+)
+
+// protocol line colours, cycled.
+var lineColors = []string{"#d62728", "#9467bd", "#2ca02c", "#1f77b4", "#ff7f0e", "#8c564b"}
+
+// FigureSVG renders an experiment figure as an SVG line chart with axes,
+// ticks, and a legend — the visual counterpart of Figure.Format/Chart.
+func FigureSVG(f *experiment.Figure, w, h float64) *Canvas {
+	c := NewCanvas(w, h)
+	c.Title(f.Name)
+	const (
+		padL = 56.0
+		padR = 14.0
+		padT = 28.0
+		padB = 44.0
+	)
+	plotW := w - padL - padR
+	plotH := h - padT - padB
+
+	c.Text(w/2, 16, 12, "#222", "middle", f.Name)
+
+	if len(f.Rows) == 0 {
+		c.Text(w/2, h/2, 12, "#999", "middle", "(no data)")
+		return c
+	}
+
+	// Ranges.
+	xLo, xHi := f.Rows[0].X, f.Rows[0].X
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, row := range f.Rows {
+		if row.X < xLo {
+			xLo = row.X
+		}
+		if row.X > xHi {
+			xHi = row.X
+		}
+		for _, p := range f.Protocols {
+			v := f.Value(row.Points[p])
+			if v < yLo {
+				yLo = v
+			}
+			if v > yHi {
+				yHi = v
+			}
+		}
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	yLo = 0 // figures are magnitudes; anchor at zero like the paper's plots
+	if yHi <= yLo {
+		yHi = yLo + 1
+	}
+	yHi *= 1.08
+
+	px := func(x float64) float64 { return padL + plotW*(x-xLo)/(xHi-xLo) }
+	py := func(y float64) float64 { return padT + plotH*(1-(y-yLo)/(yHi-yLo)) }
+
+	// Axes.
+	c.Line(padL, padT, padL, padT+plotH, "#333", 1)
+	c.Line(padL, padT+plotH, padL+plotW, padT+plotH, "#333", 1)
+	// Y ticks (5).
+	for i := 0; i <= 5; i++ {
+		v := yLo + (yHi-yLo)*float64(i)/5
+		y := py(v)
+		c.Line(padL-3, y, padL, y, "#333", 1)
+		c.Line(padL, y, padL+plotW, y, "#eee", 0.6)
+		c.Text(padL-6, y+3, 9, "#333", "end", fmt.Sprintf("%.0f", v))
+	}
+	// X ticks: one per row.
+	for _, row := range f.Rows {
+		x := px(row.X)
+		c.Line(x, padT+plotH, x, padT+plotH+3, "#333", 1)
+		c.Text(x, padT+plotH+14, 9, "#333", "middle", fmt.Sprintf("%g", row.X))
+	}
+	c.Text(padL+plotW/2, h-8, 10, "#333", "middle", f.XLabel)
+	c.Text(12, padT-8, 10, "#333", "start", f.YLabel)
+
+	// Series.
+	for pi, p := range f.Protocols {
+		col := lineColors[pi%len(lineColors)]
+		var pts [][2]float64
+		for _, row := range f.Rows {
+			pts = append(pts, [2]float64{px(row.X), py(f.Value(row.Points[p]))})
+		}
+		c.Polyline(pts, col, 1.8)
+		for _, pt := range pts {
+			c.Circle(pt[0], pt[1], 2.4, col)
+		}
+		// Legend entry.
+		lx := padL + 8 + float64(pi)*90
+		c.Rect(lx, padT+4, 10, 3, col)
+		c.Text(lx+14, padT+9, 9, "#333", "start", p)
+	}
+	return c
+}

@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"rmcast/internal/core"
+	"rmcast/internal/graph"
+)
+
+// StrategyGraphSVG renders the paper's Definition-1 DAG for one client:
+// u on the left, the candidates in descending-DS order, S on the right,
+// with every arc weight annotated and the optimal path (Algorithm 1)
+// highlighted. This is the picture the paper's Example 5 describes.
+func StrategyGraphSVG(sg *core.StrategyGraph, w, h float64) *Canvas {
+	c := NewCanvas(w, h)
+	n := len(sg.Candidates)
+	c.Title(fmt.Sprintf("strategy graph for client %d (%d candidates)", sg.Client, n))
+	c.Text(w/2, 16, 12, "#222", "middle",
+		fmt.Sprintf("strategy graph: client %d, DS_u=%d, %d candidates",
+			sg.Client, sg.ClientDepth, n))
+
+	// Node positions: a row, u..v1..vN..S.
+	total := n + 2
+	margin := 50.0
+	y := h * 0.62
+	xOf := func(i int) float64 {
+		if total == 1 {
+			return w / 2
+		}
+		return margin + (w-2*margin)*float64(i)/float64(total-1)
+	}
+
+	// Optimal path for highlighting.
+	opt := sg.Algorithm1()
+	onPath := map[[2]int]bool{}
+	prev := 0
+	for _, p := range opt.Peers {
+		for i, cand := range sg.Candidates {
+			if cand.Peer == p.Peer && cand.DS == p.DS {
+				onPath[[2]int{prev, i + 1}] = true
+				prev = i + 1
+				break
+			}
+		}
+	}
+	onPath[[2]int{prev, n + 1}] = true
+
+	// Arcs as elliptical-ish arcs approximated by 3-point polylines above
+	// the node row; height scales with span.
+	d := sg.Digraph()
+	for from := 0; from < total; from++ {
+		for _, a := range d.Out(graph.NodeID(from)) {
+			to := int(a.To)
+			x1, x2 := xOf(from), xOf(to)
+			span := math.Abs(x2 - x1)
+			peak := y - 14 - span*0.22
+			mid := (x1 + x2) / 2
+			col, width := "#bbbbbb", 1.0
+			if onPath[[2]int{from, to}] {
+				col, width = "#d62728", 2.2
+			}
+			c.Polyline([][2]float64{{x1, y - 6}, {mid, peak}, {x2, y - 6}}, col, width)
+			c.Text(mid, peak-3, 8, col, "middle", fmt.Sprintf("%.1f", a.W))
+		}
+	}
+
+	// Nodes.
+	for i := 0; i < total; i++ {
+		x := xOf(i)
+		var label, col string
+		switch {
+		case i == 0:
+			label, col = "u", "#1f77b4"
+		case i == total-1:
+			label, col = "S", "#d62728"
+		default:
+			cand := sg.Candidates[i-1]
+			label = fmt.Sprintf("v%d", i)
+			col = "#2ca02c"
+			c.Text(x, y+26, 8, "#555", "middle",
+				fmt.Sprintf("peer %d", cand.Peer))
+			c.Text(x, y+36, 8, "#555", "middle",
+				fmt.Sprintf("DS=%d rtt=%.1f", cand.DS, cand.RTT))
+		}
+		c.Circle(x, y, 8, col)
+		c.Text(x, y+3, 9, "white", "middle", label)
+	}
+	c.Text(w/2, h-10, 10, "#333", "middle",
+		fmt.Sprintf("optimal path highlighted: E[delay]=%.2f ms (direct source: %.2f ms)",
+			opt.ExpectedDelay, sg.SourceRTT))
+	return c
+}

@@ -1,0 +1,107 @@
+// Package viz renders topologies and experiment figures as standalone SVG
+// documents using only the standard library. It exists so the repository's
+// artifacts — multicast trees, strategy overlays, and the reproduced paper
+// figures — can be inspected visually without any plotting stack:
+//
+//	topogen -format svg > topo.svg
+//	figures -svg figures.svg
+//
+// Output is deterministic for a given input, and tests validate it by
+// parsing the XML and counting shapes.
+package viz
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Canvas accumulates SVG elements.
+type Canvas struct {
+	W, H  float64
+	elems []string
+}
+
+// NewCanvas returns an empty canvas of the given pixel size.
+func NewCanvas(w, h float64) *Canvas {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("viz: non-positive canvas %vx%v", w, h))
+	}
+	return &Canvas{W: w, H: h}
+}
+
+func esc(s string) string {
+	var b strings.Builder
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// Line draws a line segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, stroke string, width float64) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="%.2f"/>`,
+		x1, y1, x2, y2, esc(stroke), width))
+}
+
+// Circle draws a filled circle.
+func (c *Canvas) Circle(x, y, r float64, fill string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s"/>`, x, y, r, esc(fill)))
+}
+
+// Rect draws a filled rectangle.
+func (c *Canvas) Rect(x, y, w, h float64, fill string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`,
+		x, y, w, h, esc(fill)))
+}
+
+// Text draws a text label anchored at (x, y).
+func (c *Canvas) Text(x, y float64, size float64, fill, anchor, s string) {
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<text x="%.2f" y="%.2f" font-size="%.1f" fill="%s" text-anchor="%s" font-family="sans-serif">%s</text>`,
+		x, y, size, esc(fill), esc(anchor), esc(s)))
+}
+
+// Polyline draws a connected series of points.
+func (c *Canvas) Polyline(pts [][2]float64, stroke string, width float64) {
+	if len(pts) == 0 {
+		return
+	}
+	var b strings.Builder
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.2f,%.2f", p[0], p[1])
+	}
+	c.elems = append(c.elems, fmt.Sprintf(
+		`<polyline points="%s" fill="none" stroke="%s" stroke-width="%.2f"/>`,
+		b.String(), esc(stroke), width))
+}
+
+// Title sets the document title (first element).
+func (c *Canvas) Title(s string) {
+	c.elems = append([]string{fmt.Sprintf(`<title>%s</title>`, esc(s))}, c.elems...)
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`,
+		c.W, c.H, c.W, c.H)
+	b.WriteString("\n")
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>`)
+	b.WriteString("\n")
+	for _, e := range c.elems {
+		b.WriteString(e)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Elements returns the number of drawn elements (testing).
+func (c *Canvas) Elements() int { return len(c.elems) }

@@ -1,0 +1,247 @@
+package rmcast
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicTopologyAndStrategies(t *testing.T) {
+	topo, err := NewTopology(DefaultTopologyConfig(60), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Clients) == 0 {
+		t.Fatal("no clients generated")
+	}
+	sts, err := Strategies(topo, DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != len(topo.Clients) {
+		t.Fatalf("strategies %d for %d clients", len(sts), len(topo.Clients))
+	}
+	for c, st := range sts {
+		if st.Client != c || st.ExpectedDelay <= 0 {
+			t.Fatalf("bad strategy %+v", st)
+		}
+		one, err := StrategyFor(topo, c, DefaultPlannerOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(one.ExpectedDelay-st.ExpectedDelay) > 1e-9 {
+			t.Fatal("StrategyFor disagrees with Strategies")
+		}
+	}
+}
+
+func TestPublicSimulateAllProtocols(t *testing.T) {
+	topo, err := NewTopology(DefaultTopologyConfig(40), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSessionConfig()
+	cfg.Packets = 25
+	for _, p := range Protocols() {
+		res, err := Simulate(topo, p, cfg, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if !res.Complete || res.Stats.Unrecovered != 0 {
+			t.Fatalf("%s: bad run %+v", p, res.Stats)
+		}
+	}
+	if _, err := Simulate(topo, "NOPE", cfg, 3); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestPublicBuilders(t *testing.T) {
+	if _, err := Chain(3, 1, []int{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Star(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Binary(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuilder()
+	s := b.Source()
+	r := b.Router()
+	c := b.Client()
+	b.TreeLink(s, r, 1)
+	b.TreeLink(r, c, 1)
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicTimeoutPolicies(t *testing.T) {
+	topo, err := Chain(3, 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := Strategies(topo, PlannerOptions{Timeout: FixedTimeout(100), AllowDirectSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop, err := Strategies(topo, PlannerOptions{Timeout: ProportionalTimeout(2), AllowDirectSource: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixed) != len(prop) {
+		t.Fatal("policy changed client coverage")
+	}
+}
+
+func TestRestrictedPlannerViaPublicAPI(t *testing.T) {
+	topo, err := Chain(3, 1, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := Strategies(topo, PlannerOptions{AllowDirectSource: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := Strategies(topo, DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range open {
+		if restricted[c].ExpectedDelay < open[c].ExpectedDelay-1e-9 {
+			t.Fatal("restricted plan beat unrestricted optimum")
+		}
+	}
+}
+
+func TestPublicLinkStateAndTrace(t *testing.T) {
+	topo, err := NewTopology(DefaultTopologyConfig(40), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, st := LinkStateRouting(topo, 0.2, 9)
+	if st.Messages == 0 || st.ConvergenceMs <= 0 {
+		t.Fatalf("bad convergence stats %+v", st)
+	}
+	cfg := DefaultSessionConfig()
+	cfg.Packets = 20
+	var tr traceCounter
+	res, err := SimulateFull(topo, "RP", cfg, 10, rt, &tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Unrecovered != 0 || !res.Complete {
+		t.Fatalf("LSR run failed: %+v", res.Stats)
+	}
+	if tr.n == 0 {
+		t.Fatal("tracer saw no events")
+	}
+}
+
+// traceCounter is a minimal Tracer for the public API test.
+type traceCounter struct{ n int }
+
+func (c *traceCounter) Emit(TraceEvent) { c.n++ }
+
+func TestPublicTreeKinds(t *testing.T) {
+	cfg := DefaultTopologyConfig(60)
+	cfg.Tree = ShortestPathTree
+	topo, err := NewTopology(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Clients) == 0 {
+		t.Fatal("SPT topology has no clients")
+	}
+	res, err := Simulate(topo, "RP", SessionConfig{Packets: 20, Interval: 40}, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Unrecovered != 0 {
+		t.Fatalf("SPT run failed: %+v", res.Stats)
+	}
+}
+
+func TestPublicGapDetection(t *testing.T) {
+	topo, err := NewTopology(DefaultTopologyConfig(40), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SessionConfig{Packets: 30, Interval: 40, Detection: DetectGap}
+	res, err := Simulate(topo, "RP", cfg, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Unrecovered != 0 || !res.Complete {
+		t.Fatalf("gap-detection run failed: %+v", res.Stats)
+	}
+	if res.LatencyQuantile(0.95) < res.LatencyQuantile(0.5) {
+		t.Fatal("quantiles inverted")
+	}
+}
+
+func TestPublicRosterChurn(t *testing.T) {
+	topo, err := NewTopology(DefaultTopologyConfig(50), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRoster(topo, DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := topo.Clients[0]
+	if _, err := r.Leave(v); err != nil {
+		t.Fatal(err)
+	}
+	if r.Active(v) {
+		t.Fatal("left member still active")
+	}
+	if _, err := r.Join(v); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Strategy(v)
+	if st == nil || st.ExpectedDelay <= 0 {
+		t.Fatalf("bad rejoined strategy %+v", st)
+	}
+}
+
+func TestPublicTransitStub(t *testing.T) {
+	topo, err := NewTransitStubTopology(DefaultTopologyConfig(1), TransitStubParams{}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(topo, "RP", SessionConfig{Packets: 25, Interval: 40}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Unrecovered != 0 || !res.Complete {
+		t.Fatalf("transit-stub run failed: %+v", res.Stats)
+	}
+	// Planner coverage: a strategy exists for every client. (Interesting
+	// structural finding, asserted only loosely: stub siblings meet so
+	// close to the client that they almost always share its loss, so with
+	// the default β=3 timeout the optimum is often direct-to-source; a
+	// cheaper failure probe — lower β or NAK replies — re-enables them.)
+	sts, err := Strategies(topo, DefaultPlannerOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != len(topo.Clients) {
+		t.Fatalf("strategies %d for %d clients", len(sts), len(topo.Clients))
+	}
+	cheap, err := Strategies(topo, PlannerOptions{
+		Timeout: ProportionalTimeout(1.2), AllowDirectSource: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withPeers := 0
+	for _, st := range cheap {
+		if len(st.Peers) > 0 {
+			withPeers++
+		}
+	}
+	if withPeers == 0 {
+		t.Fatal("even with cheap probes no client uses a peer")
+	}
+}
