@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench figures cover fuzz clean
+.PHONY: all build test test-race vet check bench bench-json figures cover fuzz clean
 
 all: build vet test
+
+# The default verification gate: build, vet, tests, and the race detector
+# over the parallel harness and routing tables.
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -15,9 +19,17 @@ vet:
 test:
 	$(GO) test ./...
 
+test-race:
+	$(GO) test -race ./...
+
 # One short benchmark pass over every suite (full runs: drop -benchtime).
 bench:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x ./...
+
+# Same pass in machine-readable form, recorded per day so the perf
+# trajectory is tracked across PRs (see EXPERIMENTS.md "Performance").
+bench-json:
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x -json ./... > BENCH_$$(date +%Y-%m-%d).json
 
 # Regenerate the paper's figures and the ablation tables.
 figures:

@@ -16,8 +16,11 @@ import (
 	"fmt"
 	"testing"
 
+	"rmcast/internal/core"
 	"rmcast/internal/experiment"
+	"rmcast/internal/mtree"
 	"rmcast/internal/protocol"
+	"rmcast/internal/route"
 	"rmcast/internal/topology"
 )
 
@@ -384,5 +387,76 @@ func BenchmarkTopologyFamilies(b *testing.B) {
 				b.ReportMetric(lat, "ms/recovery")
 			})
 		}
+	}
+}
+
+// BenchmarkLCA measures the O(1) Euler-tour LCA query on the paper's
+// largest topology — the primitive behind every meet-depth lookup in
+// candidate selection (O(k²) queries per planning pass).
+func BenchmarkLCA(b *testing.B) {
+	net, err := topology.Standard(600, 0.05, 2003)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := mtree.Build(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clients := tree.Clients
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := clients[i%len(clients)]
+		v := clients[(i*31+7)%len(clients)]
+		_ = tree.LCA(u, v)
+	}
+}
+
+// BenchmarkPlannerAll measures the batch planning pass (core.PlanAll):
+// every client's candidate classes, strategy graph, and Algorithm 1, with
+// scratch shared across clients. Compare against BenchmarkStrategyComputation,
+// which additionally pays topology routing-table construction.
+func BenchmarkPlannerAll(b *testing.B) {
+	for _, size := range []int{100, 300, 600} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			net, err := topology.Standard(size, 0.05, 2003)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tree, err := mtree.Build(net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := core.NewPlanner(tree, route.Build(net))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = p.PlanAll()
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSweep runs one small group-size sweep grid serially and
+// on a worker pool. On a multi-core runner the parallel variant should
+// approach serial-time ÷ min(workers, cells); the figures it produces are
+// bit-identical either way (asserted by the experiment tests).
+func BenchmarkParallelSweep(b *testing.B) {
+	sweep := experiment.GroupSizeSweep{
+		Sizes:      []int{50, 100, 150, 200},
+		Loss:       0.05,
+		Packets:    benchPackets,
+		Interval:   50,
+		Replicates: 1,
+		BaseSeed:   2003,
+	}
+	for _, workers := range []int{1, 2, 4, experiment.DefaultParallelism()} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			s := sweep
+			s.Parallel = workers
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -8,6 +8,11 @@
 //	figures -fig ablation    # RP-variant ablation
 //	figures -csv -fig 5      # machine-readable output
 //	figures -packets 40      # faster, noisier runs
+//	figures -parallel 1      # force the legacy serial sweep loop
+//
+// Sweeps fan out over -parallel workers (default: one per CPU); every cell
+// is independently seeded, so the output is bit-identical at any worker
+// count.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 		svgOut   = flag.String("svg", "", "also write SVG charts, stacked, to this file")
 		md       = flag.Bool("md", false, "emit markdown tables (for EXPERIMENTS.md)")
 		interval = flag.Float64("interval", 50, "inter-packet interval (ms)")
+		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
+			"sweep worker count (1 = legacy serial loop; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -78,6 +85,7 @@ func main() {
 	if need56 {
 		g := experiment.PaperFigure56()
 		g.Packets, g.Replicates, g.BaseSeed, g.Interval = *packets, *reps, *seed, *interval
+		g.Parallel = *parallel
 		lat, bw, err := g.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
@@ -93,6 +101,7 @@ func main() {
 	if need78 {
 		l := experiment.PaperFigure78()
 		l.Packets, l.Replicates, l.BaseSeed, l.Interval = *packets, *reps, *seed, *interval
+		l.Parallel = *parallel
 		lat, bw, err := l.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
@@ -108,6 +117,7 @@ func main() {
 	if needAb {
 		a := experiment.PaperAblation()
 		a.Packets, a.Replicates, a.BaseSeed, a.Interval = *packets, *reps, *seed, *interval
+		a.Parallel = *parallel
 		lat, bw, err := a.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)

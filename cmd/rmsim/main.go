@@ -6,6 +6,11 @@
 //
 //	rmsim -routers 500 -loss 0.05 -protocol RP
 //	rmsim -routers 200 -loss 0.10 -protocol all -packets 200
+//
+// With -protocol all the per-protocol runs execute on -parallel workers
+// (default: one per CPU); each run is independently seeded so the printed
+// rows are identical at any worker count. -trace forces serial execution so
+// the event trace stays a single ordered stream.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"text/tabwriter"
 
 	"rmcast/internal/experiment"
@@ -36,6 +42,8 @@ func main() {
 		gapDet   = flag.Bool("gapdetect", false, "use sequence-gap loss detection instead of the idealised model")
 		lossyRec = flag.Bool("lossyrecovery", false, "subject recovery traffic to link loss")
 		asJSON   = flag.Bool("json", false, "emit per-protocol results as JSON")
+		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
+			"worker count for multi-protocol runs (1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -78,20 +86,19 @@ func main() {
 		Duplicates int64   `json:"duplicates"`
 		Events     uint64  `json:"events"`
 	}
-	var jsonRows []jsonRow
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "protocol\tclients\tlosses\trecovered\tlatency(ms)\tp95(ms)\trepair bw(hops)\treq bw(hops)\tdup\tevents")
-	for _, p := range protos {
+	// Each protocol run is independent (fresh topology and session from the
+	// same seeds), so they fan out to workers; results gather by index and
+	// print in the requested order. Tracing shares one writer, so it forces
+	// the serial path.
+	runOne := func(p string) (*protocol.Result, error) {
 		topo, err := topology.Standard(*routers, *loss, *topoSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
-			os.Exit(1)
+			return nil, err
 		}
 		eng, err := experiment.NewEngine(p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
-			os.Exit(1)
+			return nil, err
 		}
 		cfg := protocol.Config{
 			Packets: *packets, Interval: *interval,
@@ -102,16 +109,60 @@ func main() {
 		}
 		sess, err := protocol.NewSession(topo, eng, cfg, *simSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
-			os.Exit(1)
+			return nil, err
 		}
 		sess.Trace = tracer
 		res := sess.Run()
 		if res.Stats.Unrecovered > 0 || !res.Complete {
-			fmt.Fprintf(os.Stderr, "rmsim: %s left %d losses unrecovered (complete=%v)\n",
+			return nil, fmt.Errorf("%s left %d losses unrecovered (complete=%v)",
 				p, res.Stats.Unrecovered, res.Complete)
+		}
+		return res, nil
+	}
+
+	workers := *parallel
+	if workers < 1 || tracer != nil {
+		workers = 1
+	}
+	if workers > len(protos) {
+		workers = len(protos)
+	}
+	results := make([]*protocol.Result, len(protos))
+	errs := make([]error, len(protos))
+	if workers <= 1 {
+		for i, p := range protos {
+			results[i], errs[i] = runOne(p)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i], errs[i] = runOne(protos[i])
+				}
+			}()
+		}
+		for i := range protos {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	var jsonRows []jsonRow
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "protocol\tclients\tlosses\trecovered\tlatency(ms)\tp95(ms)\trepair bw(hops)\treq bw(hops)\tdup\tevents")
+	for i, p := range protos {
+		res := results[i]
 		if *asJSON {
 			jsonRows = append(jsonRows, jsonRow{
 				Protocol: p, Clients: res.Clients,

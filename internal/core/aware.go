@@ -73,11 +73,23 @@ func EvalAnyQ(list []AttemptRef, dsU int32, srcRTT float64, q float64) float64 {
 // remaining delay given every peer up to and including v_i has failed.
 // At q = 1 this is exactly the strategy-graph optimum of Algorithm 1.
 func (sg *StrategyGraph) OptimalDP(q float64) *Strategy {
+	return sg.optimalDP(q, nil, nil)
+}
+
+// optimalDP is OptimalDP with caller-provided scratch buffers (see
+// algorithm1); nil buffers allocate fresh ones.
+func (sg *StrategyGraph) optimalDP(q float64, W []float64, choice []int) *Strategy {
 	n := len(sg.Candidates)
 	// W[i] for i in 1..n is the remaining expected delay after v_i failed;
 	// W[0] is the answer (state "only u's loss observed", prefix DS_u).
-	W := make([]float64, n+1)
-	choice := make([]int, n+1) // 0 = go to source; else next candidate index (1-based)
+	if cap(W) < n+1 {
+		W = make([]float64, n+1)
+	}
+	W = W[:n+1]
+	if cap(choice) < n+1 {
+		choice = make([]int, n+1)
+	}
+	choice = choice[:n+1] // 0 = go to source; else next candidate index (1-based)
 	for i := n; i >= 0; i-- {
 		var prefix int32
 		if i == 0 {

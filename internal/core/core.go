@@ -26,6 +26,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"rmcast/internal/graph"
 	"rmcast/internal/mtree"
@@ -96,12 +97,13 @@ type Strategy struct {
 
 // String renders the strategy compactly for logs and the cmd/strategy tool.
 func (s *Strategy) String() string {
-	out := fmt.Sprintf("client %d (DS=%d):", s.Client, s.ClientDepth)
+	var b strings.Builder
+	fmt.Fprintf(&b, "client %d (DS=%d):", s.Client, s.ClientDepth)
 	for _, c := range s.Peers {
-		out += fmt.Sprintf(" →%d(DS=%d,rtt=%.2f)", c.Peer, c.DS, c.RTT)
+		fmt.Fprintf(&b, " →%d(DS=%d,rtt=%.2f)", c.Peer, c.DS, c.RTT)
 	}
-	out += fmt.Sprintf(" →S(rtt=%.2f) E[delay]=%.3f", s.SourceRTT, s.ExpectedDelay)
-	return out
+	fmt.Fprintf(&b, " →S(rtt=%.2f) E[delay]=%.3f", s.SourceRTT, s.ExpectedDelay)
+	return b.String()
 }
 
 // Planner computes strategies for the clients of one multicast tree.
@@ -184,8 +186,23 @@ func (p *Planner) Candidates(u graph.NodeID) []Candidate {
 	for _, c := range best {
 		out = append(out, c)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].DS > out[j].DS })
+	sortCandidates(out)
 	return out
+}
+
+// sortCandidates orders a candidate list the way every planning path
+// requires: strictly descending DS (Lemma 5), with equal-DS classes broken
+// by ascending peer ID. The tiebreak makes the order — and therefore any
+// tie in the downstream shortest-path selection — independent of map
+// iteration order, which the parallel harness needs for bit-identical
+// reruns.
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].DS != cs[j].DS {
+			return cs[i].DS > cs[j].DS
+		}
+		return cs[i].Peer < cs[j].Peer
+	})
 }
 
 // attemptCost is the expected cost of asking cand first (prefix DS_u),
@@ -206,11 +223,9 @@ func (p *Planner) StrategyFor(u graph.NodeID) *Strategy {
 	return sg.Algorithm1()
 }
 
-// All computes strategies for every client, keyed by client node.
+// All computes strategies for every client, keyed by client node. It
+// delegates to the batch path PlanAll (see planall.go), which produces
+// results identical to calling StrategyFor per client.
 func (p *Planner) All() map[graph.NodeID]*Strategy {
-	out := make(map[graph.NodeID]*Strategy, len(p.Tree.Clients))
-	for _, u := range p.Tree.Clients {
-		out[u] = p.StrategyFor(u)
-	}
-	return out
+	return p.PlanAll()
 }

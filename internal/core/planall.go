@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"rmcast/internal/graph"
+)
+
+// This file is the batch planning path: PlanAll computes every client's
+// strategy in one shared pass. Per-client, the work is identical to
+// StrategyFor — candidate classes (Lemma 4), descending-DS order (Lemma 5),
+// then Algorithm 1 or the loss-aware DP — but the pass shares all scratch
+// state across clients:
+//
+//   - the competitive-class winner table is a dense epoch-stamped slice
+//     indexed by meet router instead of a fresh map per client, so class
+//     reduction does no hashing and no per-client allocation;
+//   - the candidate list and the shortest-path buffers are reused across
+//     clients (strategies never retain them: Peers are copied out);
+//   - LCA queries hit the tree's O(1) Euler-tour sparse table, so the
+//     k² meet-depth lookups cost two array reads each.
+//
+// The harness plans every client of every topology of every sweep cell, so
+// this path is what BenchmarkPlannerAll measures and what the RP engines
+// call at session construction.
+
+// planScratch holds the buffers PlanAll shares across clients.
+type planScratch struct {
+	// mark/classIdx form the epoch-stamped class-winner table: classIdx[r]
+	// is the index in cands of the current winner of meet router r, valid
+	// only when mark[r] == epoch.
+	mark     []uint32
+	classIdx []int32
+	epoch    uint32
+	// cands is the reused candidate buffer.
+	cands []Candidate
+	// dist/parent back algorithm1; W/choice back optimalDP.
+	dist   []float64
+	parent []int
+	W      []float64
+	choice []int
+}
+
+func newPlanScratch(nodes int) *planScratch {
+	return &planScratch{
+		mark:     make([]uint32, nodes),
+		classIdx: make([]int32, nodes),
+	}
+}
+
+// PlanAll computes strategies for every client in one batch pass. The
+// result is identical (field for field) to calling StrategyFor per client;
+// tests assert this across planner configurations.
+func (p *Planner) PlanAll() map[graph.NodeID]*Strategy {
+	sc := newPlanScratch(len(p.Tree.Depth))
+	out := make(map[graph.NodeID]*Strategy, len(p.Tree.Clients))
+	for _, u := range p.Tree.Clients {
+		out[u] = p.planOne(u, sc)
+	}
+	return out
+}
+
+// planOne computes one client's strategy using the shared scratch.
+func (p *Planner) planOne(u graph.NodeID, sc *planScratch) *Strategy {
+	if !p.Tree.Net.IsClient(u) {
+		panic(fmt.Sprintf("core: plan of non-client node %d", u))
+	}
+	pol := p.timeout()
+	sc.epoch++
+	sc.cands = sc.cands[:0]
+	for _, v := range p.Tree.Clients {
+		if v == u {
+			continue
+		}
+		meet := p.Tree.LCA(u, v)
+		rtt := p.Routes.RTT(u, v)
+		cand := Candidate{
+			Peer:    v,
+			Meet:    meet,
+			DS:      p.Tree.Depth[meet],
+			RTT:     rtt,
+			Timeout: pol.Timeout(rtt),
+			Priv:    p.Tree.Depth[v] - p.Tree.Depth[meet],
+		}
+		if sc.mark[meet] != sc.epoch {
+			sc.mark[meet] = sc.epoch
+			sc.classIdx[meet] = int32(len(sc.cands))
+			sc.cands = append(sc.cands, cand)
+			continue
+		}
+		cur := &sc.cands[sc.classIdx[meet]]
+		// Same winner rule as Candidates: cheapest expected attempt cost,
+		// ties by lower peer ID (Lemma 4 admits one winner per class).
+		cc, pc := p.attemptCost(u, cand), p.attemptCost(u, *cur)
+		if cc < pc || (cc == pc && cand.Peer < cur.Peer) {
+			*cur = cand
+		}
+	}
+	sortCandidates(sc.cands)
+	srcRTT := p.Routes.RTT(u, p.Tree.Root)
+	sg := &StrategyGraph{
+		Client:            u,
+		ClientDepth:       p.Tree.Depth[u],
+		Candidates:        sc.cands,
+		SourceRTT:         srcRTT,
+		SourceTimeout:     pol.Timeout(srcRTT),
+		AllowDirectSource: p.AllowDirectSource,
+	}
+	// Grow the shortest-path scratch once; algorithm1/optimalDP reslice it.
+	if need := len(sc.cands) + 2; cap(sc.dist) < need {
+		sc.dist = make([]float64, need)
+		sc.parent = make([]int, need)
+		sc.W = make([]float64, need)
+		sc.choice = make([]int, need)
+	}
+	if p.LossProb > 0 {
+		return sg.optimalDP(1-p.LossProb, sc.W, sc.choice)
+	}
+	return sg.algorithm1(sc.dist, sc.parent)
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"rmcast/internal/mtree"
+	"rmcast/internal/rng"
+	"rmcast/internal/route"
+	"rmcast/internal/topology"
+)
+
+// planners returns a planner per configuration the batch path must cover:
+// the paper default, the restricted graph, a fixed timeout policy, and the
+// loss-aware model.
+func plannersUnderTest(t *testing.T, size int, seed uint64) []*Planner {
+	t.Helper()
+	net := topology.MustGenerate(topology.DefaultConfig(size), rng.New(seed))
+	tree := mtree.MustBuild(net)
+	rt := route.Build(net)
+	def := NewPlanner(tree, rt)
+	restricted := NewPlanner(tree, rt)
+	restricted.AllowDirectSource = false
+	fixed := NewPlanner(tree, rt)
+	fixed.Timeout = FixedTimeout(120)
+	aware := NewPlanner(tree, rt)
+	aware.LossProb = 0.1
+	return []*Planner{def, restricted, fixed, aware}
+}
+
+// TestPlanAllMatchesStrategyFor asserts the batch pass is field-for-field
+// identical to the per-client path on every configuration.
+func TestPlanAllMatchesStrategyFor(t *testing.T) {
+	for _, seed := range []uint64{1, 2003} {
+		for pi, p := range plannersUnderTest(t, 150, seed) {
+			batch := p.PlanAll()
+			if len(batch) != len(p.Tree.Clients) {
+				t.Fatalf("planner %d: PlanAll returned %d strategies, want %d",
+					pi, len(batch), len(p.Tree.Clients))
+			}
+			for _, u := range p.Tree.Clients {
+				want := p.StrategyFor(u)
+				if !reflect.DeepEqual(batch[u], want) {
+					t.Fatalf("planner %d seed %d: PlanAll[%d] = %v, StrategyFor = %v",
+						pi, seed, u, batch[u], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanAllRepeatable asserts two batch passes over the same planner give
+// identical results (the scratch reuse must not leak state across calls).
+func TestPlanAllRepeatable(t *testing.T) {
+	for _, p := range plannersUnderTest(t, 120, 7) {
+		a, b := p.PlanAll(), p.PlanAll()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("PlanAll not repeatable")
+		}
+	}
+}
+
+func BenchmarkPlanAll(b *testing.B) {
+	net := topology.MustGenerate(topology.DefaultConfig(300), rng.New(1))
+	tree := mtree.MustBuild(net)
+	p := NewPlanner(tree, route.Build(net))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.PlanAll()
+	}
+}

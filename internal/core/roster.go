@@ -103,7 +103,7 @@ func (r *Roster) replan(u graph.NodeID) {
 	for _, c := range best {
 		cands = append(cands, c)
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].DS > cands[j].DS })
+	sortCandidates(cands)
 	srcRTT := r.p.Routes.RTT(u, r.p.Tree.Root)
 	sg := &StrategyGraph{
 		Client:            u,

@@ -107,10 +107,23 @@ func (sg *StrategyGraph) Digraph() *graph.Digraph {
 // meets or exceeds the tentative distance of S (the paper's step-4 prune —
 // such a vertex cannot improve any path). Runs in O(N²).
 func (sg *StrategyGraph) Algorithm1() *Strategy {
+	return sg.algorithm1(nil, nil)
+}
+
+// algorithm1 is Algorithm1 with caller-provided scratch buffers, so the
+// batch planner (PlanAll) can amortise the per-client allocations. nil
+// buffers (the public entry point) allocate fresh ones.
+func (sg *StrategyGraph) algorithm1(dist []float64, parent []int) *Strategy {
 	n := len(sg.Candidates)
 	srcIdx := n + 1
-	dist := make([]float64, n+2)
-	parent := make([]int, n+2)
+	if cap(dist) < n+2 {
+		dist = make([]float64, n+2)
+	}
+	dist = dist[:n+2]
+	if cap(parent) < n+2 {
+		parent = make([]int, n+2)
+	}
+	parent = parent[:n+2]
 	for i := range dist {
 		dist[i] = math.Inf(1)
 		parent[i] = -1

@@ -1,0 +1,84 @@
+// Deterministic parallel execution for the sweep harness.
+//
+// A sweep is a grid of independent simulation cells: every cell carries its
+// own (TopoSeed, SimSeed) pair, and inside a cell the session derives its
+// traffic and protocol streams from that seed via rng.Split. No state flows
+// between cells, so the grid can be executed by any number of workers in
+// any order and still produce bit-identical figures — determinism lives in
+// the seeds, not in the schedule. runCells exploits that: it fans cells out
+// to a bounded worker pool and gathers results into a slice indexed by cell
+// position, so aggregation always proceeds in the same deterministic order
+// the serial loop used.
+//
+// parallel <= 1 bypasses the pool entirely and runs the exact legacy serial
+// loop (including its stop-at-first-error behaviour), which keeps
+// `-parallel 1` a faithful reference for the byte-identical-output tests.
+package experiment
+
+import (
+	"runtime"
+	"sync"
+
+	"rmcast/internal/protocol"
+)
+
+// DefaultParallelism returns the worker count the cmd tools default to:
+// one worker per available CPU.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// runCells executes every spec and returns results in spec order. On
+// failure it returns the failing cell's index and error — the lowest index
+// if several cells fail, so the reported error does not depend on
+// scheduling. With parallel <= 1 the cells run serially in order and
+// execution stops at the first error, exactly as the pre-pool harness did.
+func runCells(specs []RunSpec, parallel int) ([]*protocol.Result, int, error) {
+	results := make([]*protocol.Result, len(specs))
+	if parallel <= 1 {
+		for i, spec := range specs {
+			res, err := Run(spec)
+			if err != nil {
+				return nil, i, err
+			}
+			results[i] = res
+		}
+		return results, -1, nil
+	}
+	if parallel > len(specs) {
+		parallel = len(specs)
+	}
+	errs := make([]error, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, i, err
+		}
+	}
+	return results, -1, nil
+}
+
+// cellPoint converts one run result into a figure point.
+func cellPoint(res *protocol.Result) Point {
+	return Point{
+		Latency:    res.AvgLatency(),
+		Bandwidth:  res.BandwidthPerRecovery(),
+		Losses:     res.Stats.Losses,
+		Clients:    res.Clients,
+		LatSamples: []float64{res.AvgLatency()},
+		BwSamples:  []float64{res.BandwidthPerRecovery()},
+	}
+}

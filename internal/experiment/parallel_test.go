@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"rmcast/internal/rng"
+)
+
+// figureBytes renders a figure through every text emitter, so "byte
+// identical" below means identical down to the formatted output the cmd
+// tools print, not just DeepEqual on the structs.
+func figureBytes(t *testing.T, f *Figure) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Format(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGroupSizeSweepParallelDeterminism asserts that the worker-pool run of
+// a group-size sweep is byte-identical to the legacy serial run for the
+// same seed, across several worker counts and seeds.
+func TestGroupSizeSweepParallelDeterminism(t *testing.T) {
+	// Distinct sweep seeds derived the way parallel workers would: one
+	// SplitN fan-out from a fixed root stream.
+	seeds := rng.New(2026).SplitN(2)
+	for _, sr := range seeds {
+		seed := sr.Uint64()
+		base := GroupSizeSweep{
+			Sizes:    []int{40, 60},
+			Loss:     0.05,
+			Packets:  20,
+			Interval: 50,
+			// Two replicates so the merge path is covered too.
+			Replicates: 2,
+			BaseSeed:   seed,
+		}
+		serial := base
+		serial.Parallel = 1
+		wantLat, wantBw, err := serial.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par := base
+			par.Parallel = workers
+			gotLat, gotBw, err := par.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotLat, wantLat) || !reflect.DeepEqual(gotBw, wantBw) {
+				t.Fatalf("seed %d: parallel=%d figures differ from serial", seed, workers)
+			}
+			if !bytes.Equal(figureBytes(t, gotLat), figureBytes(t, wantLat)) ||
+				!bytes.Equal(figureBytes(t, gotBw), figureBytes(t, wantBw)) {
+				t.Fatalf("seed %d: parallel=%d output bytes differ from serial", seed, workers)
+			}
+		}
+	}
+}
+
+// TestLossSweepParallelDeterminism is the same assertion for the loss
+// sweep (Figures 7/8 shape).
+func TestLossSweepParallelDeterminism(t *testing.T) {
+	base := LossSweep{
+		Routers:    60,
+		LossPcts:   []float64{5, 10},
+		Packets:    20,
+		Interval:   50,
+		Replicates: 1,
+		BaseSeed:   2003,
+	}
+	serial := base
+	serial.Parallel = 1
+	wantLat, wantBw, err := serial.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Parallel = 4
+	gotLat, gotBw, err := par.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotLat, wantLat) || !reflect.DeepEqual(gotBw, wantBw) {
+		t.Fatal("parallel loss sweep differs from serial")
+	}
+	if !bytes.Equal(figureBytes(t, gotLat), figureBytes(t, wantLat)) ||
+		!bytes.Equal(figureBytes(t, gotBw), figureBytes(t, wantBw)) {
+		t.Fatal("parallel loss sweep output bytes differ from serial")
+	}
+}
+
+// TestAblationSweepParallel smoke-tests the pool through the ablation
+// wrapper (many protocols, small topology).
+func TestAblationSweepParallel(t *testing.T) {
+	a := AblationSweep{
+		Routers:  50,
+		LossPcts: []float64{5},
+		Packets:  15,
+		Interval: 50,
+		BaseSeed: 2003,
+		Parallel: 4,
+	}
+	lat, bw, err := a.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lat.Rows) != 1 || len(bw.Rows) != 1 {
+		t.Fatalf("ablation rows = %d/%d, want 1/1", len(lat.Rows), len(bw.Rows))
+	}
+	for _, proto := range AblationProtocols {
+		if _, ok := lat.Rows[0].Points[proto]; !ok {
+			t.Fatalf("missing ablation point for %s", proto)
+		}
+	}
+}
+
+// TestRunCellsErrorIndexDeterministic asserts a failing grid reports the
+// lowest failing index regardless of worker count.
+func TestRunCellsErrorIndexDeterministic(t *testing.T) {
+	specs := []RunSpec{
+		{Routers: 40, Loss: 0.05, Protocol: "RP", Packets: 5, Interval: 50, TopoSeed: 1, SimSeed: 1},
+		{Routers: 40, Loss: 0.05, Protocol: "NO-SUCH", Packets: 5, Interval: 50, TopoSeed: 1, SimSeed: 1},
+		{Routers: 40, Loss: 0.05, Protocol: "ALSO-BAD", Packets: 5, Interval: 50, TopoSeed: 1, SimSeed: 1},
+	}
+	for _, workers := range []int{1, 4} {
+		_, idx, err := runCells(specs, workers)
+		if err == nil {
+			t.Fatalf("parallel=%d: expected error", workers)
+		}
+		if idx != 1 {
+			t.Fatalf("parallel=%d: failing index %d, want 1", workers, idx)
+		}
+	}
+}

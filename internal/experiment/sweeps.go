@@ -21,6 +21,10 @@ type GroupSizeSweep struct {
 	Replicates int
 	// BaseSeed derives all topology and traffic seeds.
 	BaseSeed uint64
+	// Parallel is the worker count for the sweep grid; <= 1 runs the legacy
+	// serial loop. Any value produces bit-identical figures (every cell is
+	// independently seeded); see parallel.go.
+	Parallel int
 }
 
 // PaperFigure56 returns the sweep matching the paper's §5.2 setup:
@@ -47,14 +51,15 @@ func (g GroupSizeSweep) Run() (latency, bandwidth *Figure, err error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var rows []Row
+	// Lay out the cell grid in the serial iteration order (size, protocol,
+	// replicate); each cell's seeds depend only on its grid position, so
+	// execution order cannot perturb them.
+	specs := make([]RunSpec, 0, len(g.Sizes)*len(protocols)*reps)
 	for si, size := range g.Sizes {
-		row := Row{X: 0, Label: fmt.Sprintf("n=%d", size), Points: map[string]Point{}}
 		topoSeed := g.BaseSeed + uint64(si)*1000
 		for _, proto := range protocols {
-			var agg Point
 			for rep := 0; rep < reps; rep++ {
-				res, rerr := Run(RunSpec{
+				specs = append(specs, RunSpec{
 					Routers:  size,
 					Loss:     g.Loss,
 					Protocol: proto,
@@ -63,17 +68,25 @@ func (g GroupSizeSweep) Run() (latency, bandwidth *Figure, err error) {
 					TopoSeed: topoSeed,
 					SimSeed:  g.BaseSeed + uint64(si)*1000 + uint64(rep) + 1,
 				})
-				if rerr != nil {
-					return nil, nil, fmt.Errorf("size %d %s rep %d: %w", size, proto, rep, rerr)
-				}
-				p := Point{
-					Latency:    res.AvgLatency(),
-					Bandwidth:  res.BandwidthPerRecovery(),
-					Losses:     res.Stats.Losses,
-					Clients:    res.Clients,
-					LatSamples: []float64{res.AvgLatency()},
-					BwSamples:  []float64{res.BandwidthPerRecovery()},
-				}
+			}
+		}
+	}
+	results, failed, rerr := runCells(specs, g.Parallel)
+	if rerr != nil {
+		si := failed / (len(protocols) * reps)
+		pi := failed / reps % len(protocols)
+		return nil, nil, fmt.Errorf("size %d %s rep %d: %w",
+			g.Sizes[si], protocols[pi], failed%reps, rerr)
+	}
+	var rows []Row
+	idx := 0
+	for range g.Sizes {
+		row := Row{X: 0, Label: fmt.Sprintf("n=%d", specs[idx].Routers), Points: map[string]Point{}}
+		for _, proto := range protocols {
+			var agg Point
+			for rep := 0; rep < reps; rep++ {
+				p := cellPoint(results[idx])
+				idx++
 				if rep == 0 {
 					agg = p
 				} else {
@@ -118,6 +131,9 @@ type LossSweep struct {
 	// Replicates averages this many traffic seeds per cell.
 	Replicates int
 	BaseSeed   uint64
+	// Parallel is the worker count for the sweep grid; <= 1 runs the legacy
+	// serial loop (see parallel.go).
+	Parallel int
 }
 
 // PaperFigure78 returns the sweep matching the paper's setup: n=500,
@@ -144,13 +160,11 @@ func (l LossSweep) Run() (latency, bandwidth *Figure, err error) {
 	if reps < 1 {
 		reps = 1
 	}
-	var rows []Row
+	specs := make([]RunSpec, 0, len(l.LossPcts)*len(protocols)*reps)
 	for li, pct := range l.LossPcts {
-		row := Row{X: pct, Label: fmt.Sprintf("p=%g%%", pct), Points: map[string]Point{}}
 		for _, proto := range protocols {
-			var agg Point
 			for rep := 0; rep < reps; rep++ {
-				res, rerr := Run(RunSpec{
+				specs = append(specs, RunSpec{
 					Routers:  l.Routers,
 					Loss:     pct / 100,
 					Protocol: proto,
@@ -161,17 +175,25 @@ func (l LossSweep) Run() (latency, bandwidth *Figure, err error) {
 					TopoSeed: l.BaseSeed,
 					SimSeed:  l.BaseSeed + uint64(li)*100 + uint64(rep) + 1,
 				})
-				if rerr != nil {
-					return nil, nil, fmt.Errorf("p=%g%% %s rep %d: %w", pct, proto, rep, rerr)
-				}
-				p := Point{
-					Latency:    res.AvgLatency(),
-					Bandwidth:  res.BandwidthPerRecovery(),
-					Losses:     res.Stats.Losses,
-					Clients:    res.Clients,
-					LatSamples: []float64{res.AvgLatency()},
-					BwSamples:  []float64{res.BandwidthPerRecovery()},
-				}
+			}
+		}
+	}
+	results, failed, rerr := runCells(specs, l.Parallel)
+	if rerr != nil {
+		li := failed / (len(protocols) * reps)
+		pi := failed / reps % len(protocols)
+		return nil, nil, fmt.Errorf("p=%g%% %s rep %d: %w",
+			l.LossPcts[li], protocols[pi], failed%reps, rerr)
+	}
+	var rows []Row
+	idx := 0
+	for _, pct := range l.LossPcts {
+		row := Row{X: pct, Label: fmt.Sprintf("p=%g%%", pct), Points: map[string]Point{}}
+		for _, proto := range protocols {
+			var agg Point
+			for rep := 0; rep < reps; rep++ {
+				p := cellPoint(results[idx])
+				idx++
 				if rep == 0 {
 					agg = p
 				} else {
@@ -210,6 +232,8 @@ type AblationSweep struct {
 	Interval   float64
 	Replicates int
 	BaseSeed   uint64
+	// Parallel is the worker count for the sweep grid (see parallel.go).
+	Parallel int
 }
 
 // PaperAblation returns the default ablation: n=300, p ∈ {5, 15}%.
@@ -235,6 +259,7 @@ func (a AblationSweep) Run() (latency, bandwidth *Figure, err error) {
 		Interval:   a.Interval,
 		Replicates: a.Replicates,
 		BaseSeed:   a.BaseSeed,
+		Parallel:   a.Parallel,
 	}
 	latency, bandwidth, err = ls.Run()
 	if err != nil {

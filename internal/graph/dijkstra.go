@@ -12,6 +12,10 @@ type ShortestPaths struct {
 	Dist       []float64 // +Inf where unreachable
 	Parent     []NodeID
 	ParentEdge []EdgeID
+	// Hops is the edge count of the shortest-delay path from Source; -1
+	// where unreachable. Maintained during relaxation so path callers can
+	// pre-size reconstruction buffers and hop queries need no path walk.
+	Hops []int32
 }
 
 // WeightFunc maps an edge to its traversal cost. It must return a
@@ -60,13 +64,16 @@ func Dijkstra(g *Undirected, src NodeID, w WeightFunc) *ShortestPaths {
 		Dist:       make([]float64, n),
 		Parent:     make([]NodeID, n),
 		ParentEdge: make([]EdgeID, n),
+		Hops:       make([]int32, n),
 	}
 	for i := range res.Dist {
 		res.Dist[i] = math.Inf(1)
 		res.Parent[i] = None
 		res.ParentEdge[i] = NoEdge
+		res.Hops[i] = -1
 	}
 	res.Dist[src] = 0
+	res.Hops[src] = 0
 	done := make([]bool, n)
 	h := &spHeap{{0, src}}
 	for h.Len() > 0 {
@@ -86,6 +93,7 @@ func Dijkstra(g *Undirected, src NodeID, w WeightFunc) *ShortestPaths {
 				res.Dist[half.Peer] = nd
 				res.Parent[half.Peer] = u
 				res.ParentEdge[half.Peer] = half.Edge
+				res.Hops[half.Peer] = res.Hops[u] + 1
 				heap.Push(h, spItem{nd, half.Peer})
 			}
 		}
@@ -94,16 +102,17 @@ func Dijkstra(g *Undirected, src NodeID, w WeightFunc) *ShortestPaths {
 }
 
 // PathTo reconstructs the node path Source→target. Nil if unreachable.
+// The result is sized exactly from the stored hop count, filled back to
+// front, so reconstruction is one allocation and no reversal.
 func (r *ShortestPaths) PathTo(target NodeID) []NodeID {
 	if math.IsInf(r.Dist[target], 1) {
 		return nil
 	}
-	var path []NodeID
+	path := make([]NodeID, r.Hops[target]+1)
+	i := len(path) - 1
 	for v := target; v != None; v = r.Parent[v] {
-		path = append(path, v)
-	}
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
+		path[i] = v
+		i--
 	}
 	return path
 }
@@ -114,12 +123,11 @@ func (r *ShortestPaths) EdgePathTo(target NodeID) []EdgeID {
 	if math.IsInf(r.Dist[target], 1) {
 		return nil
 	}
-	path := []EdgeID{}
+	path := make([]EdgeID, r.Hops[target])
+	i := len(path) - 1
 	for v := target; r.Parent[v] != None; v = r.Parent[v] {
-		path = append(path, r.ParentEdge[v])
-	}
-	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
-		path[i], path[j] = path[j], path[i]
+		path[i] = r.ParentEdge[v]
+		i--
 	}
 	return path
 }

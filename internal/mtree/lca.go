@@ -1,0 +1,79 @@
+package mtree
+
+import (
+	"math/bits"
+
+	"rmcast/internal/graph"
+)
+
+// This file implements constant-time LCA queries via the classic Euler-tour
+// reduction to range-minimum: the DFS in Build records the full Euler tour
+// (2n−1 entries — every node once per visit), and the LCA of a and b is the
+// minimum-depth node on the tour segment between their first occurrences.
+// A sparse table over the tour answers that range-minimum in O(1).
+//
+// The planner issues O(k²) LCA queries per topology (every client against
+// every other, k ≈ n/3 at the paper's client density), so replacing the
+// O(log n) binary-lifting query with O(1) removes the dominant log factor
+// from strategy planning. The lifting table is kept for Ancestor and
+// ChildToward, which genuinely need ancestor jumps.
+
+// buildLCA constructs eulerFirst and the sparse table from the Euler tour
+// recorded by Build's DFS. Preprocessing is O(n log n) time and space,
+// matching the lifting table it complements.
+func (t *Tree) buildLCA() {
+	n := len(t.Parent)
+	t.eulerFirst = make([]int32, n)
+	for i := range t.eulerFirst {
+		t.eulerFirst[i] = -1
+	}
+	for i, v := range t.euler {
+		if t.eulerFirst[v] < 0 {
+			t.eulerFirst[v] = int32(i)
+		}
+	}
+	m := len(t.euler)
+	levels := 1
+	if m > 1 {
+		levels = bits.Len(uint(m)) // enough rows for spans up to m
+	}
+	t.sparse = make([][]int32, levels)
+	row := make([]int32, m)
+	for i := range row {
+		row[i] = int32(i)
+	}
+	t.sparse[0] = row
+	for k := 1; k < levels; k++ {
+		span := 1 << k
+		if span > m {
+			break
+		}
+		prev := t.sparse[k-1]
+		cur := make([]int32, m-span+1)
+		half := span >> 1
+		for i := range cur {
+			l, r := prev[i], prev[i+half]
+			if t.Depth[t.euler[l]] <= t.Depth[t.euler[r]] {
+				cur[i] = l
+			} else {
+				cur[i] = r
+			}
+		}
+		t.sparse[k] = cur
+	}
+}
+
+// lcaRMQ answers the LCA query in O(1) from the sparse table. Both nodes
+// must be in the tree (LCA checks).
+func (t *Tree) lcaRMQ(a, b graph.NodeID) graph.NodeID {
+	l, r := t.eulerFirst[a], t.eulerFirst[b]
+	if l > r {
+		l, r = r, l
+	}
+	k := bits.Len(uint(r-l+1)) - 1
+	i, j := t.sparse[k][l], t.sparse[k][r-(1<<k)+1]
+	if t.Depth[t.euler[i]] <= t.Depth[t.euler[j]] {
+		return t.euler[i]
+	}
+	return t.euler[j]
+}

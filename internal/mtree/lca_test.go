@@ -1,0 +1,64 @@
+package mtree
+
+import (
+	"testing"
+
+	"rmcast/internal/rng"
+	"rmcast/internal/topology"
+)
+
+// naiveLCA (the parent-walk reference) lives in mtree_test.go.
+
+func TestLCAMatchesNaiveWalk(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		net := topology.MustGenerate(topology.DefaultConfig(150), rng.New(seed))
+		tree := MustBuild(net)
+		// Every client pair (the planner's workload) plus self-pairs.
+		for _, a := range tree.Clients {
+			for _, b := range tree.Clients {
+				got := tree.LCA(a, b)
+				want := naiveLCA(tree, a, b)
+				if got != want {
+					t.Fatalf("seed %d: LCA(%d,%d) = %d, naive walk says %d",
+						seed, a, b, got, want)
+				}
+			}
+		}
+		// A sample of arbitrary in-tree pairs, including router/router.
+		r := rng.New(seed + 99)
+		for i := 0; i < 2000; i++ {
+			a := tree.Order[r.Intn(len(tree.Order))]
+			b := tree.Order[r.Intn(len(tree.Order))]
+			if got, want := tree.LCA(a, b), naiveLCA(tree, a, b); got != want {
+				t.Fatalf("seed %d: LCA(%d,%d) = %d, naive walk says %d",
+					seed, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestLCAEulerTourShape(t *testing.T) {
+	net := topology.MustGenerate(topology.DefaultConfig(80), rng.New(3))
+	tree := MustBuild(net)
+	if want := 2*tree.NumTreeNodes() - 1; len(tree.euler) != want {
+		t.Fatalf("euler tour length %d, want 2n-1 = %d", len(tree.euler), want)
+	}
+	for i := 1; i < len(tree.euler); i++ {
+		a, b := tree.euler[i-1], tree.euler[i]
+		if d := tree.Depth[a] - tree.Depth[b]; d != 1 && d != -1 {
+			t.Fatalf("euler[%d..%d] = %d,%d: depths differ by %d, want ±1", i-1, i, a, b, d)
+		}
+	}
+}
+
+func BenchmarkTreeLCA(b *testing.B) {
+	net := topology.MustGenerate(topology.DefaultConfig(600), rng.New(5))
+	tree := MustBuild(net)
+	clients := tree.Clients
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := clients[i%len(clients)]
+		c := clients[(i*31+7)%len(clients)]
+		_ = tree.LCA(a, c)
+	}
+}

@@ -55,6 +55,11 @@ type Tree struct {
 	// up is the binary-lifting ancestor table: up[k][v] is the 2^k-th
 	// ancestor of v (None past the root).
 	up [][]graph.NodeID
+	// euler/eulerFirst/sparse implement O(1) LCA via Euler tour +
+	// range-minimum sparse table (see lca.go).
+	euler      []graph.NodeID
+	eulerFirst []int32
+	sparse     [][]int32
 }
 
 // Build constructs the rooted tree from net.TreeEdges. It fails if the tree
@@ -103,6 +108,7 @@ func Build(net *topology.Network) (*Tree, error) {
 	t.tin[t.Root] = clock
 	clock++
 	t.Order = append(t.Order, t.Root)
+	t.euler = append(t.euler, t.Root)
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		u := f.node
@@ -124,11 +130,15 @@ func Build(net *topology.Network) (*Tree, error) {
 			t.tin[v] = clock
 			clock++
 			stack = append(stack, frame{v, 0})
+			t.euler = append(t.euler, v)
 			continue
 		}
 		t.tout[u] = clock
 		clock++
 		stack = stack[:len(stack)-1]
+		if len(stack) > 0 {
+			t.euler = append(t.euler, stack[len(stack)-1].node)
+		}
 	}
 
 	for _, c := range net.Clients {
@@ -138,6 +148,7 @@ func Build(net *topology.Network) (*Tree, error) {
 	}
 
 	t.buildLifting()
+	t.buildLCA()
 	return t, nil
 }
 
@@ -203,24 +214,13 @@ func (t *Tree) Ancestor(v graph.NodeID, k int32) graph.NodeID {
 
 // LCA returns the lowest common ancestor of a and b — the paper's "first
 // common router" of two clients (§3.2) when both are group members. It
-// panics if either node is off-tree.
+// panics if either node is off-tree. Queries are O(1) via the Euler-tour
+// sparse table (see lca.go); the planner issues O(k²) of them per topology.
 func (t *Tree) LCA(a, b graph.NodeID) graph.NodeID {
 	if !t.InTree[a] || !t.InTree[b] {
 		panic(fmt.Sprintf("mtree: LCA of off-tree node (%d,%d)", a, b))
 	}
-	if t.IsAncestor(a, b) {
-		return a
-	}
-	if t.IsAncestor(b, a) {
-		return b
-	}
-	// Lift a until just below the common ancestor.
-	for k := len(t.up) - 1; k >= 0; k-- {
-		if up := t.up[k][a]; up != graph.None && !t.IsAncestor(up, b) {
-			a = up
-		}
-	}
-	return t.Parent[a]
+	return t.lcaRMQ(a, b)
 }
 
 // MeetDepth returns DS_{u,v}: the depth (hop count from the source along

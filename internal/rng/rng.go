@@ -49,6 +49,18 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64())
 }
 
+// SplitN derives n independent streams from r in one call — the fan-out
+// primitive for parallel workers: split once per work item in a fixed
+// order, hand stream i to item i, and results are independent of which
+// goroutine runs which item. Equivalent to calling Split n times.
+func (r *Rand) SplitN(n int) []*Rand {
+	out := make([]*Rand, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -231,3 +231,32 @@ func BenchmarkFloat64(b *testing.B) {
 		_ = r.Float64()
 	}
 }
+
+func TestSplitNMatchesRepeatedSplit(t *testing.T) {
+	a, b := New(99), New(99)
+	streams := a.SplitN(8)
+	for i, s := range streams {
+		want := b.Split()
+		for j := 0; j < 16; j++ {
+			if got, w := s.Uint64(), want.Uint64(); got != w {
+				t.Fatalf("SplitN stream %d draw %d = %d, Split gives %d", i, j, got, w)
+			}
+		}
+	}
+	// Parents must end in the same state.
+	if a.State() != b.State() {
+		t.Fatal("SplitN advanced the parent differently from repeated Split")
+	}
+}
+
+func TestSplitNStreamsDistinct(t *testing.T) {
+	streams := New(7).SplitN(32)
+	seen := make(map[uint64]int)
+	for i, s := range streams {
+		v := s.Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d share first draw %d", i, j, v)
+		}
+		seen[v] = i
+	}
+}

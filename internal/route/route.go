@@ -15,6 +15,8 @@ package route
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"rmcast/internal/graph"
 	"rmcast/internal/topology"
@@ -43,9 +45,19 @@ type Router interface {
 }
 
 // Tables holds shortest-path routing state for a set of destinations.
+//
+// Tables is safe for concurrent readers: the per-destination trees live in
+// a dense slice of atomic pointers indexed by node ID, so lookups are a
+// single lock-free load. Prepare may be called concurrently with readers
+// (and with other Prepare calls) — lazily-added destinations publish their
+// tree with an atomic store under a mutex that only serialises builders,
+// never readers.
 type Tables struct {
 	net *topology.Network
-	sp  map[graph.NodeID]*graph.ShortestPaths
+	sp  []atomic.Pointer[graph.ShortestPaths]
+	// mu serialises Prepare so concurrent callers do not run duplicate
+	// Dijkstra passes for the same destination.
+	mu sync.Mutex
 }
 
 var _ Router = (*Tables)(nil)
@@ -54,7 +66,7 @@ var _ Router = (*Tables)(nil)
 // network — the only unicast destinations the recovery protocols use.
 // Additional destinations can be added later with Prepare.
 func Build(net *topology.Network) *Tables {
-	t := &Tables{net: net, sp: make(map[graph.NodeID]*graph.ShortestPaths)}
+	t := &Tables{net: net, sp: make([]atomic.Pointer[graph.ShortestPaths], net.NumNodes())}
 	t.Prepare(net.Source)
 	for _, c := range net.Clients {
 		t.Prepare(c)
@@ -62,17 +74,23 @@ func Build(net *topology.Network) *Tables {
 	return t
 }
 
-// Prepare ensures a routing table exists for destination d.
+// Prepare ensures a routing table exists for destination d. It is safe to
+// call concurrently with readers and with other Prepare calls.
 func (t *Tables) Prepare(d graph.NodeID) {
-	if _, ok := t.sp[d]; ok {
+	if t.sp[d].Load() != nil {
 		return
 	}
-	t.sp[d] = graph.Dijkstra(t.net.G, d, t.net.DelayWeights())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.sp[d].Load() != nil { // lost the race to another builder
+		return
+	}
+	t.sp[d].Store(graph.Dijkstra(t.net.G, d, t.net.DelayWeights()))
 }
 
 func (t *Tables) table(d graph.NodeID) *graph.ShortestPaths {
-	sp, ok := t.sp[d]
-	if !ok {
+	sp := t.sp[d].Load()
+	if sp == nil {
 		panic(fmt.Sprintf("route: no table for destination %d (call Prepare)", d))
 	}
 	return sp
@@ -102,24 +120,27 @@ func (t *Tables) NextHop(cur, dest graph.NodeID) (graph.NodeID, graph.EdgeID) {
 	return sp.Parent[cur], sp.ParentEdge[cur]
 }
 
-// Path returns the node path a→b (inclusive), or nil if unreachable.
+// Path returns the node path a→b (inclusive), or nil if unreachable. The
+// result is sized exactly from the tree's stored hop count and filled
+// front-to-back by the parent walk (the tree is rooted at b, so the walk
+// from a already visits nodes in a→b order): one allocation, no reversal.
 func (t *Tables) Path(a, b graph.NodeID) []graph.NodeID {
-	p := t.table(b).PathTo(a)
-	if p == nil {
+	sp := t.table(b)
+	hops := sp.Hops[a]
+	if hops < 0 {
 		return nil
 	}
-	// PathTo gives b→a (tree is rooted at b); reverse into a→b.
-	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
-		p[i], p[j] = p[j], p[i]
+	p := make([]graph.NodeID, hops+1)
+	v := a
+	for i := range p {
+		p[i] = v
+		v = sp.Parent[v]
 	}
 	return p
 }
 
-// Hops returns the hop count of the shortest-delay path a→b.
+// Hops returns the hop count of the shortest-delay path a→b, read directly
+// from the shortest-path tree (no path reconstruction).
 func (t *Tables) Hops(a, b graph.NodeID) int {
-	p := t.Path(a, b)
-	if p == nil {
-		return -1
-	}
-	return len(p) - 1
+	return int(t.table(b).Hops[a])
 }

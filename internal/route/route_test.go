@@ -212,3 +212,83 @@ func BenchmarkBuildTables600(b *testing.B) {
 		_ = Build(net)
 	}
 }
+
+// TestPathHopsAgreeWithNextHopWalks is the regression test for the
+// allocation-free Path/Hops fast paths: on a generated topology, every
+// (host, host) pair's Path must equal the node sequence produced by
+// repeatedly following NextHop, and Hops must equal its length minus one.
+func TestPathHopsAgreeWithNextHopWalks(t *testing.T) {
+	net := topology.MustGenerate(topology.DefaultConfig(120), rng.New(17))
+	rt := Build(net)
+	hosts := append([]graph.NodeID{net.Source}, net.Clients...)
+	for _, a := range hosts {
+		for _, b := range hosts {
+			path := rt.Path(a, b)
+			if a == b {
+				if len(path) != 1 || path[0] != a {
+					t.Fatalf("Path(%d,%d) = %v, want [%d]", a, b, path, a)
+				}
+				if h := rt.Hops(a, b); h != 0 {
+					t.Fatalf("Hops(%d,%d) = %d, want 0", a, b, h)
+				}
+				continue
+			}
+			var walk []graph.NodeID
+			for cur := a; ; {
+				walk = append(walk, cur)
+				if cur == b {
+					break
+				}
+				next, _ := rt.NextHop(cur, b)
+				if next == graph.None {
+					t.Fatalf("NextHop walk %d→%d stuck at %d", a, b, cur)
+				}
+				cur = next
+			}
+			if len(path) != len(walk) {
+				t.Fatalf("Path(%d,%d) length %d != walk length %d", a, b, len(path), len(walk))
+			}
+			for i := range path {
+				if path[i] != walk[i] {
+					t.Fatalf("Path(%d,%d)[%d] = %d, walk has %d", a, b, i, path[i], walk[i])
+				}
+			}
+			if h := rt.Hops(a, b); h != len(walk)-1 {
+				t.Fatalf("Hops(%d,%d) = %d, want %d", a, b, h, len(walk)-1)
+			}
+		}
+	}
+}
+
+// TestConcurrentReadersAndPrepare exercises the lock-free read path while
+// other goroutines lazily Prepare new destinations (run with -race).
+func TestConcurrentReadersAndPrepare(t *testing.T) {
+	net := topology.MustGenerate(topology.DefaultConfig(80), rng.New(23))
+	rt := Build(net)
+	// Routers are not prepared by Build; use them as lazy destinations.
+	var lazy []graph.NodeID
+	for id := graph.NodeID(0); int(id) < net.NumNodes() && len(lazy) < 16; id++ {
+		if id != net.Source && !net.IsClient(id) {
+			lazy = append(lazy, id)
+		}
+	}
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				a := net.Clients[(w+i)%len(net.Clients)]
+				b := net.Clients[(w*7+i*3)%len(net.Clients)]
+				_ = rt.RTT(a, b)
+				_ = rt.Hops(a, b)
+				_ = rt.Path(a, b)
+				d := lazy[(w+i)%len(lazy)]
+				rt.Prepare(d)
+				_ = rt.OneWayDelay(a, d)
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
