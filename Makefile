@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench bench-json figures cover fuzz clean
+.PHONY: all build test test-race vet check bench bench-json figures cover fuzz fuzz-short clean
 
 all: build vet test
 
@@ -41,6 +41,13 @@ cover:
 fuzz:
 	$(GO) test -fuzz FuzzEvalAny -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzCondLossProb -fuzztime 30s ./internal/core
+	$(GO) test -fuzz FuzzSchedule -fuzztime 30s ./internal/fault
+
+# Quick fuzz pass for CI: a few seconds per target.
+fuzz-short:
+	$(GO) test -fuzz FuzzEvalAny -fuzztime 5s ./internal/core
+	$(GO) test -fuzz FuzzCondLossProb -fuzztime 5s ./internal/core
+	$(GO) test -fuzz FuzzSchedule -fuzztime 5s ./internal/fault
 
 clean:
 	$(GO) clean ./...

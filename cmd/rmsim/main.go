@@ -42,6 +42,9 @@ func main() {
 		gapDet   = flag.Bool("gapdetect", false, "use sequence-gap loss detection instead of the idealised model")
 		lossyRec = flag.Bool("lossyrecovery", false, "subject recovery traffic to link loss")
 		asJSON   = flag.Bool("json", false, "emit per-protocol results as JSON")
+		chaos    = flag.Bool("chaos", false,
+			"run the fault-injection (chaos) sweep instead of a single run: crashes, link outages and burst loss rising with severity, RP vs SRM vs RMA vs RP-RESILIENT")
+		reps     = flag.Int("replicates", 1, "replicate (traffic, fault) seeds per chaos cell")
 		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
 			"worker count for multi-protocol runs (1 = serial; output is identical either way)")
 	)
@@ -50,6 +53,31 @@ func main() {
 	if *list {
 		for _, p := range append(append([]string{}, experiment.PaperProtocols...), experiment.AblationProtocols...) {
 			fmt.Println(p)
+		}
+		fmt.Println("RP-RESILIENT")
+		return
+	}
+
+	if *chaos {
+		sweep := experiment.DefaultChaos()
+		sweep.Routers = *routers
+		sweep.BaseLoss = *loss
+		sweep.Packets = *packets
+		sweep.Interval = *interval
+		sweep.BaseSeed = *simSeed
+		sweep.Replicates = *reps
+		sweep.Parallel = *parallel
+		delivery, latency, p99, bandwidth, err := sweep.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, f := range []*experiment.Figure{delivery, latency, p99, bandwidth} {
+			if err := f.Format(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
 		}
 		return
 	}

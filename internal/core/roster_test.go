@@ -168,6 +168,32 @@ func TestRosterErrors(t *testing.T) {
 	}
 }
 
+// BenchmarkRosterChurn measures one full churn cycle — a member dies
+// (incremental replan of its dependents) and rejoins (replan of itself plus
+// any client it now beats) — the operation the resilient RP engine performs
+// on every declared death and recovery.
+func BenchmarkRosterChurn(b *testing.B) {
+	net := topology.MustGenerate(topology.DefaultConfig(200), rng.New(11))
+	tr, err := mtree.Build(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := NewPlanner(tr, route.Build(net))
+	r := NewRoster(p)
+	clients := append([]graph.NodeID(nil), p.Tree.Clients...)
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v := clients[i%len(clients)]
+		if _, err := r.Leave(v); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Join(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func TestRosterLoneMemberGoesToSource(t *testing.T) {
 	p := rosterPlanner(t, 30, 7)
 	r := NewRoster(p)

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 
+	"rmcast/internal/fault"
 	"rmcast/internal/lsr"
 	"rmcast/internal/protocol"
 	"rmcast/internal/protocol/ack"
@@ -28,6 +29,10 @@ var PaperProtocols = []string{"SRM", "RMA", "RP"}
 // by the ablation benchmarks (experiment E7 in DESIGN.md).
 var AblationProtocols = []string{"RP", "RP-AWARE", "RP-NOSRC", "RP-NAK", "RP-SUBGROUP", "SRC", "SRM-HONEST", "SRM-ADAPT", "FEC", "ACK"}
 
+// ChaosProtocols are the engines compared by the chaos sweep (chaos.go):
+// the paper's three plus the hardened RP.
+var ChaosProtocols = []string{"SRM", "RMA", "RP", "RP-RESILIENT"}
+
 // NewEngine constructs a protocol engine by name. Recognised names:
 //
 //	SRM          — Scalable Reliable Multicast baseline
@@ -37,6 +42,8 @@ var AblationProtocols = []string{"RP", "RP-AWARE", "RP-NOSRC", "RP-NAK", "RP-SUB
 //	RP-NOSRC     — RP with the restricted strategy graph (no direct u→S edge)
 //	RP-NAK       — RP with explicit NAK replies instead of pure timeouts
 //	RP-SUBGROUP  — RP with source subgroup-multicast repairs ([4])
+//	RP-RESILIENT — RP with the crash/churn hardening layer (retry budgets,
+//	               dead-peer suspicion, roster-driven replanning)
 //	SRC          — pure unicast source recovery (ablation floor)
 //	SRM-HONEST   — SRM without the paper's idealised one-flood-per-packet
 //	               repair cost model (distributed suppression only)
@@ -78,6 +85,10 @@ func NewEngine(name string) (protocol.Engine, error) {
 		opt := rpproto.DefaultOptions()
 		opt.SubgroupRepair = true
 		return rpproto.New(opt), nil
+	case "RP-RESILIENT":
+		opt := rpproto.DefaultOptions()
+		opt.Resilience = rpproto.DefaultResilience()
+		return rpproto.New(opt), nil
 	case "SRC":
 		return srcrec.New(srcrec.DefaultOptions()), nil
 	case "FEC":
@@ -113,6 +124,13 @@ type RunSpec struct {
 	// estimates carry RouteNoise relative measurement error.
 	LinkState  bool
 	RouteNoise float64
+	// Chaos, when non-nil, generates a fault schedule (host crashes, link
+	// outages, burst loss — internal/fault) from FaultSeed and installs it.
+	// Zero-rate parameters generate an empty schedule, which is not
+	// installed at all, so a zero-chaos cell is byte-identical to the same
+	// cell without Chaos.
+	Chaos     *fault.ChaosParams
+	FaultSeed uint64
 }
 
 // Run executes one simulation run.
@@ -134,6 +152,12 @@ func Run(spec RunSpec) (*protocol.Result, error) {
 	}
 	if spec.Interval > 0 {
 		cfg.Interval = spec.Interval
+	}
+	if spec.Chaos != nil {
+		sched := fault.Generate(*spec.Chaos, topo.Clients, len(topo.Loss), rng.New(spec.FaultSeed))
+		if !sched.Empty() {
+			cfg.Fault = sched
+		}
 	}
 	var router route.Router
 	if spec.LinkState {
@@ -159,18 +183,30 @@ func Run(spec RunSpec) (*protocol.Result, error) {
 type Point struct {
 	Latency   float64 // mean recovery latency, ms
 	Bandwidth float64 // recovery hops per packet recovered
+	Delivery  float64 // fraction of (client, packet) pairs delivered
+	P99       float64 // p99 recovery latency, ms
 	Losses    int64
 	Clients   int
 	// LatSamples and BwSamples hold the per-replicate values (confidence
-	// intervals across traffic seeds).
+	// intervals across traffic seeds); DelSamples and P99Samples likewise
+	// for the chaos metrics.
 	LatSamples []float64
 	BwSamples  []float64
+	DelSamples []float64
+	P99Samples []float64
 }
 
 // merge folds another replicate into the point with equal weight by loss
 // count (per-recovery means combine weighted by recovery counts; loss
 // counts are near-identical across protocols on the same topology/seed).
+// Delivery and P99 merge by replicate count: every replicate covers the
+// same (client, packet) population, and p99s of equal-size samples average.
 func (p *Point) merge(o Point) {
+	np, no := len(p.DelSamples), len(o.DelSamples)
+	if np+no > 0 {
+		p.Delivery = (p.Delivery*float64(np) + o.Delivery*float64(no)) / float64(np+no)
+		p.P99 = (p.P99*float64(np) + o.P99*float64(no)) / float64(np+no)
+	}
 	tot := p.Losses + o.Losses
 	if tot == 0 {
 		return
@@ -185,6 +221,8 @@ func (p *Point) merge(o Point) {
 	}
 	p.LatSamples = append(p.LatSamples, o.LatSamples...)
 	p.BwSamples = append(p.BwSamples, o.BwSamples...)
+	p.DelSamples = append(p.DelSamples, o.DelSamples...)
+	p.P99Samples = append(p.P99Samples, o.P99Samples...)
 }
 
 // Row is one x-position of a figure with a point per protocol.
@@ -203,15 +241,20 @@ type Figure struct {
 	Name      string
 	XLabel    string
 	YLabel    string
-	Metric    string // "latency" or "bandwidth"
+	Metric    string // "latency", "bandwidth", "delivery", or "p99"
 	Protocols []string
 	Rows      []Row
 }
 
 // Value extracts this figure's metric from a point.
 func (f *Figure) Value(p Point) float64 {
-	if f.Metric == "bandwidth" {
+	switch f.Metric {
+	case "bandwidth":
 		return p.Bandwidth
+	case "delivery":
+		return p.Delivery
+	case "p99":
+		return p.P99
 	}
 	return p.Latency
 }

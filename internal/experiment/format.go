@@ -97,8 +97,13 @@ func (f *Figure) Markdown(w io.Writer) error {
 // figure's metric (0 with fewer than 2 replicates).
 func (f *Figure) ci(p Point) float64 {
 	samples := p.LatSamples
-	if f.Metric == "bandwidth" {
+	switch f.Metric {
+	case "bandwidth":
 		samples = p.BwSamples
+	case "delivery":
+		samples = p.DelSamples
+	case "p99":
+		samples = p.P99Samples
 	}
 	n := len(samples)
 	if n < 2 {

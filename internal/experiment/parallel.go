@@ -76,9 +76,13 @@ func cellPoint(res *protocol.Result) Point {
 	return Point{
 		Latency:    res.AvgLatency(),
 		Bandwidth:  res.BandwidthPerRecovery(),
+		Delivery:   res.DeliveryRatio(),
+		P99:        res.LatencyQuantile(0.99),
 		Losses:     res.Stats.Losses,
 		Clients:    res.Clients,
 		LatSamples: []float64{res.AvgLatency()},
 		BwSamples:  []float64{res.BandwidthPerRecovery()},
+		DelSamples: []float64{res.DeliveryRatio()},
+		P99Samples: []float64{res.LatencyQuantile(0.99)},
 	}
 }

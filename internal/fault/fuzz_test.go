@@ -1,0 +1,78 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+)
+
+// FuzzSchedule drives schedule construction and state compilation with
+// arbitrary inputs: whatever the fuzzer supplies, construction must not
+// panic, burst probabilities must come out clamped to [0, 1], compiled
+// events must be time-sorted, and time queries must be consistent with the
+// schedule's windows.
+func FuzzSchedule(f *testing.F) {
+	f.Add(uint64(1), 100.0, 200.0, 0.5, 0.5, 0.1, 0.9, int16(4), int16(3))
+	f.Add(uint64(2), -5.0, math.Inf(1), 2.0, -1.0, math.NaN(), 1e300, int16(0), int16(0))
+	f.Add(uint64(3), 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, int16(1), int16(1))
+	f.Fuzz(func(t *testing.T, seed uint64, t1, t2, pgb, pbg, lg, lb float64, nodes, links int16) {
+		numNodes := int(nodes)%64 + 64 // 64..127, always a valid network
+		numLinks := int(links)%64 + 64
+		r := rng.New(seed)
+		s := &Schedule{}
+		// Builder calls with fuzzer-controlled times and entities.
+		n1 := graph.NodeID(r.Intn(numNodes))
+		n2 := graph.NodeID(r.Intn(numNodes))
+		l1 := graph.EdgeID(r.Intn(numLinks))
+		s.CrashWindow(n1, t1, t2)
+		s.CrashHost(t2, n2)
+		s.RecoverHost(t1, n2)
+		s.LinkDownWindow(l1, t1, t2)
+		ge := GEParams{PGB: pgb, PBG: pbg, LossGood: lg, LossBad: lb}
+		s.SetBurst(l1, ge)
+		s.Normalize()
+
+		// Probabilities clamped to [0, 1].
+		for _, p := range s.Burst {
+			for _, v := range []float64{p.PGB, p.PBG, p.LossGood, p.LossBad} {
+				if !(v >= 0 && v <= 1) {
+					t.Fatalf("unclamped probability %v in %+v", v, p)
+				}
+			}
+		}
+		// Events sorted by time (NaN never compares, so skip the order
+		// check when one slipped in — Validate rejects it below).
+		invalidTime := false
+		for _, e := range s.Events {
+			if !(e.At >= 0) { // negative or NaN
+				invalidTime = true
+			}
+		}
+		if !invalidTime {
+			for i := 1; i < len(s.Events); i++ {
+				if s.Events[i].At < s.Events[i-1].At {
+					t.Fatalf("events unsorted after Normalize: %+v", s.Events)
+				}
+			}
+		}
+		// Validate must reject NaN/negative times rather than panic.
+		if err := s.Validate(numNodes, numLinks); invalidTime && err == nil {
+			t.Fatal("invalid event time accepted")
+		}
+		// State compilation and queries must never panic, and burst
+		// stepping must stay in range.
+		st := NewState(s, r)
+		for _, at := range []float64{0, t1, t2, 1e308} {
+			if at == at { // skip NaN query times
+				st.HostUpAt(n1, at)
+				st.LinkUpAt(l1, at)
+			}
+		}
+		for i := 0; i < 32; i++ {
+			st.CrossBurst(l1)
+		}
+		st.HostEvents()
+	})
+}

@@ -1,0 +1,209 @@
+// Package fault provides the failure-injection layer of the simulator: a
+// deterministic, seedable schedule of host crashes, link outages, and
+// Gilbert–Elliott burst loss that the simulated network consults on every
+// packet event.
+//
+// The paper derives RP under the "reliable network" approximation — a
+// static client group, peers that never die, and independent Bernoulli loss
+// per link. Related work studies exactly the regimes that approximation
+// skips (Heidarzadeh & Sprintson's unreliable clients; Byun's repair nodes
+// that must stay reachable), so this package exists to measure where RP
+// degrades gracefully and where it must be hardened. Everything here is a
+// deliberate departure from the paper's model; a nil or empty Schedule
+// reproduces the paper's network bit-for-bit.
+//
+// A Schedule is declarative data (events and per-link burst parameters),
+// built once per run from a seed. The runtime form is a State (see
+// state.go), which answers time-indexed queries ("is host h up at t?") and
+// owns the burst chains' private randomness so that attaching an empty
+// fault model never perturbs the network's loss stream.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"rmcast/internal/graph"
+)
+
+// EventKind classifies schedule events.
+type EventKind uint8
+
+const (
+	// CrashHost takes a host down: from the event time it drops every
+	// packet it would send or receive.
+	CrashHost EventKind = iota
+	// RecoverHost brings a crashed host back up.
+	RecoverHost
+	// LinkDown takes a link down: every packet crossing it is dropped.
+	LinkDown
+	// LinkUp restores a downed link.
+	LinkUp
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case CrashHost:
+		return "crash"
+	case RecoverHost:
+		return "recover"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one scheduled fault transition. Node is meaningful for host
+// events, Link for link events.
+type Event struct {
+	At   float64
+	Kind EventKind
+	Node graph.NodeID
+	Link graph.EdgeID
+}
+
+// GEParams parameterises a per-link Gilbert–Elliott chain: a two-state
+// Markov model stepped once per packet crossing. In the good state the
+// crossing is lost with probability LossGood, in the bad state with
+// LossBad; after the draw the chain transitions good→bad with PGB and
+// bad→good with PBG. Chains start in the good state.
+type GEParams struct {
+	PGB, PBG          float64
+	LossGood, LossBad float64
+}
+
+// clamp01 clamps a probability into [0, 1]; NaN becomes 0.
+func clamp01(p float64) float64 {
+	if !(p > 0) { // also catches NaN
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// Clamped returns the parameters with every probability clamped to [0, 1].
+func (g GEParams) Clamped() GEParams {
+	return GEParams{
+		PGB:      clamp01(g.PGB),
+		PBG:      clamp01(g.PBG),
+		LossGood: clamp01(g.LossGood),
+		LossBad:  clamp01(g.LossBad),
+	}
+}
+
+// Schedule is a declarative fault plan for one simulation run. The zero
+// value is the paper's reliable network: no crashes, no outages, no bursts.
+type Schedule struct {
+	// Events holds the host/link transitions. Normalize keeps them sorted
+	// by time (stable on ties), which State requires.
+	Events []Event
+	// Burst maps links to Gilbert–Elliott burst parameters; a mapped link's
+	// chain replaces its flat Topo.Loss draw. Unmapped links keep the flat
+	// Bernoulli model.
+	Burst map[graph.EdgeID]GEParams
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool {
+	return s == nil || (len(s.Events) == 0 && len(s.Burst) == 0)
+}
+
+// CrashHost schedules a host crash at the given time.
+func (s *Schedule) CrashHost(at float64, node graph.NodeID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: CrashHost, Node: node})
+	return s
+}
+
+// RecoverHost schedules a host recovery.
+func (s *Schedule) RecoverHost(at float64, node graph.NodeID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: RecoverHost, Node: node})
+	return s
+}
+
+// CrashWindow schedules a crash at from and a recovery at to. A to ≤ from
+// leaves the host down forever (permanent crash).
+func (s *Schedule) CrashWindow(node graph.NodeID, from, to float64) *Schedule {
+	s.CrashHost(from, node)
+	if to > from {
+		s.RecoverHost(to, node)
+	}
+	return s
+}
+
+// LinkDown schedules a link outage start.
+func (s *Schedule) LinkDown(at float64, link graph.EdgeID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: LinkDown, Link: link})
+	return s
+}
+
+// LinkUp schedules a link restoration.
+func (s *Schedule) LinkUp(at float64, link graph.EdgeID) *Schedule {
+	s.Events = append(s.Events, Event{At: at, Kind: LinkUp, Link: link})
+	return s
+}
+
+// LinkDownWindow schedules an outage over [from, to); to ≤ from downs the
+// link forever.
+func (s *Schedule) LinkDownWindow(link graph.EdgeID, from, to float64) *Schedule {
+	s.LinkDown(from, link)
+	if to > from {
+		s.LinkUp(to, link)
+	}
+	return s
+}
+
+// SetBurst attaches Gilbert–Elliott burst loss to one link, clamping the
+// probabilities into [0, 1].
+func (s *Schedule) SetBurst(link graph.EdgeID, p GEParams) *Schedule {
+	if s.Burst == nil {
+		s.Burst = make(map[graph.EdgeID]GEParams)
+	}
+	s.Burst[link] = p.Clamped()
+	return s
+}
+
+// Normalize sorts the events by time (stable, so same-time events keep
+// insertion order) and clamps all burst probabilities. It returns the
+// schedule for chaining. State construction normalizes automatically;
+// calling it earlier is harmless.
+func (s *Schedule) Normalize() *Schedule {
+	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	for l, p := range s.Burst {
+		s.Burst[l] = p.Clamped()
+	}
+	return s
+}
+
+// Validate checks the schedule against a network of numNodes nodes and
+// numLinks links: event times must be finite and non-negative, and every
+// referenced node/link must exist. It returns the first violation found.
+func (s *Schedule) Validate(numNodes, numLinks int) error {
+	for i, e := range s.Events {
+		if !(e.At >= 0) || e.At != e.At { // negative, NaN
+			return fmt.Errorf("fault: event %d at invalid time %v", i, e.At)
+		}
+		switch e.Kind {
+		case CrashHost, RecoverHost:
+			if e.Node < 0 || int(e.Node) >= numNodes {
+				return fmt.Errorf("fault: event %d references node %d of %d", i, e.Node, numNodes)
+			}
+		case LinkDown, LinkUp:
+			if e.Link < 0 || int(e.Link) >= numLinks {
+				return fmt.Errorf("fault: event %d references link %d of %d", i, e.Link, numLinks)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, e.Kind)
+		}
+	}
+	for l := range s.Burst {
+		if l < 0 || int(l) >= numLinks {
+			return fmt.Errorf("fault: burst references link %d of %d", l, numLinks)
+		}
+	}
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"rmcast/internal/fault"
 	"rmcast/internal/graph"
 	"rmcast/internal/metrics"
 	"rmcast/internal/mtree"
@@ -44,6 +45,17 @@ type Engine interface {
 	// including repairs for packets the host already has (needed for
 	// SRM-style suppression). Data packets are handled by the session.
 	OnPacket(host graph.NodeID, pkt sim.Packet)
+}
+
+// FaultAware is optionally implemented by engines that react to host
+// crash/recover transitions of an installed fault schedule (Config.Fault):
+// parking a crashed client's retry timers so a permanent crash cannot wedge
+// the event loop, and resuming its recovery after a reboot. The session
+// dispatches the hooks at each effective transition; engines without the
+// interface rely on the network layer silencing a dead host's traffic.
+type FaultAware interface {
+	OnCrash(host graph.NodeID)
+	OnRecover(host graph.NodeID)
 }
 
 // DetectionMode selects how clients learn that a packet is missing.
@@ -95,6 +107,12 @@ type Config struct {
 	// Jitter adds per-traversal queueing variability (see sim.Net.Jitter).
 	// Zero — the paper's fixed-delay model — is the default.
 	Jitter float64
+	// Fault, when non-empty, installs a failure-injection schedule (host
+	// crashes, link outages, burst loss — see internal/fault). Nil or empty
+	// reproduces the paper's reliable network bit-for-bit: the schedule's
+	// private rng stream is only split off when faults are configured, and
+	// an inert fault state never draws from the network's loss stream.
+	Fault *fault.Schedule
 	// PacketTime, when positive, enables the store-and-forward congestion
 	// model (sim.QueueModel) with this per-packet per-link service time
 	// (ms). Under congestion a delayed data packet can arrive after the
@@ -175,6 +193,14 @@ type Stats struct {
 	// true arrival can trail the idealised detector). Such gaps close
 	// without counting as Recoveries.
 	LateData int64
+	// UnrecoveredCrashed counts packets missing at clients that were down
+	// (crashed) when the run ended. Under fault injection these are the
+	// expected cost of a crash, not a protocol failure, so they are kept
+	// out of Unrecovered — which remains the liveness-violation counter.
+	UnrecoveredCrashed int64
+	// Delivered counts (client, seq) pairs held when the run ended, however
+	// obtained (original transmission, repair, or local decode).
+	Delivered int64
 	// Latency summarises per-recovery delay (detection → repair), ms.
 	Latency metrics.Summary
 }
@@ -209,6 +235,17 @@ func (r *Result) LatencyQuantile(q float64) float64 {
 // AvgLatency returns the mean recovery latency in ms (0 when no recovery
 // happened).
 func (r *Result) AvgLatency() float64 { return r.Stats.Latency.Mean() }
+
+// DeliveryRatio returns the fraction of (client, packet) pairs delivered by
+// the end of the run — 1.0 in the paper's reliable-network model, lower
+// under fault injection when crashed clients miss packets for good.
+func (r *Result) DeliveryRatio() float64 {
+	total := int64(r.Clients) * int64(r.Packets)
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Stats.Delivered) / float64(total)
+}
 
 // BandwidthPerRecovery returns retransmission hops per recovery — the
 // paper's "average bandwidth usage per packet recovered (hops)". The paper
@@ -283,6 +320,20 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 	if cfg.PacketTime > 0 {
 		net.Queue = sim.NewQueueModel(cfg.PacketTime)
 	}
+	if !cfg.Fault.Empty() {
+		if err := cfg.Fault.Validate(topo.NumNodes(), len(topo.Loss)); err != nil {
+			return nil, err
+		}
+		// The liveness invariant (every gap at a live client is eventually
+		// filled) is conditioned on the source staying up; reject schedules
+		// that crash it rather than report vacuous results.
+		for _, e := range cfg.Fault.Events {
+			if e.Kind == fault.CrashHost && e.Node == topo.Source {
+				return nil, fmt.Errorf("protocol: fault schedule crashes the source")
+			}
+		}
+		net.InstallFault(fault.NewState(cfg.Fault, root.Split()))
+	}
 	s := &Session{
 		Eng:       eng,
 		Net:       net,
@@ -316,7 +367,26 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 	src := topo.Source
 	s.Net.SetHandler(src, func(pkt sim.Packet) { s.onDeliver(src, pkt) })
 	engine.Attach(s)
+	if net.Fault != nil {
+		fa, _ := engine.(FaultAware)
+		net.OnCrash = func(h graph.NodeID) {
+			if fa != nil {
+				fa.OnCrash(h)
+			}
+		}
+		net.OnRecover = func(h graph.NodeID) {
+			if fa != nil {
+				fa.OnRecover(h)
+			}
+		}
+	}
 	return s, nil
+}
+
+// Alive reports whether a host is up at the current simulation time (always
+// true without a fault model).
+func (s *Session) Alive(h graph.NodeID) bool {
+	return s.Net.Fault == nil || s.Net.Fault.HostUpAt(h, s.Eng.Now())
 }
 
 // Config returns the session configuration.
@@ -423,10 +493,22 @@ func (s *Session) emit(e trace.Event) {
 	}
 }
 
-// detectLoss records and dispatches one loss detection (idempotent).
+// detectLoss records and dispatches one loss detection (idempotent). A
+// client that is crashed at the detection instant cannot observe the gap:
+// detection is deferred to its recovery time — the recover hook, scheduled
+// earlier, fires first — or suppressed entirely for a permanent crash, in
+// which case the gap surfaces as UnrecoveredCrashed.
 func (s *Session) detectLoss(i int, c graph.NodeID, seq int) {
 	if s.received[i][seq] || !math.IsNaN(s.detectAt[i][seq]) {
 		return
+	}
+	if f := s.Net.Fault; f != nil {
+		if until := f.HostDownUntil(c, s.Eng.Now()); !math.IsNaN(until) {
+			if !math.IsInf(until, 1) {
+				s.Eng.Schedule(until, func() { s.detectLoss(i, c, seq) })
+			}
+			return
+		}
 	}
 	s.detectAt[i][seq] = s.Eng.Now()
 	s.stats.Losses++
@@ -570,9 +652,19 @@ func (s *Session) Run() *Result {
 	executed := s.Eng.Run(maxEvents)
 	complete := s.Eng.Pending() == 0
 
-	for i := range s.received {
+	for i, c := range s.Topo.Clients {
+		// A client still down when the run ends (permanent crash, or a
+		// window outlasting the traffic) keeps its missing packets as
+		// UnrecoveredCrashed; for a live client an open gap is a liveness
+		// violation and stays in Unrecovered.
+		down := s.Net.Fault != nil && !s.Net.Fault.HostUpAt(c, s.Eng.Now())
 		for seq, got := range s.received[i] {
-			if !got && !math.IsNaN(s.detectAt[i][seq]) {
+			switch {
+			case got:
+				s.stats.Delivered++
+			case down:
+				s.stats.UnrecoveredCrashed++
+			case !math.IsNaN(s.detectAt[i][seq]):
 				s.stats.Unrecovered++
 			}
 		}

@@ -18,6 +18,8 @@
 package rma
 
 import (
+	"sort"
+
 	"rmcast/internal/core"
 	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
@@ -70,8 +72,11 @@ type key struct {
 }
 
 type attempt struct {
-	idx   int // position in the chain; len(chain) means "at source"
-	timer *sim.Timer
+	idx int // position in the chain; len(chain) means "at source"
+	// parked marks a walk whose owner is crashed: no timer runs until
+	// OnRecover resumes it.
+	parked bool
+	timer  *sim.Timer
 }
 
 // request is the payload of an RMA recovery request.
@@ -131,6 +136,10 @@ func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 // send fires the request for the attempt's current chain position and arms
 // the fall-through timer.
 func (e *Engine) send(c graph.NodeID, seq int, a *attempt) {
+	if !e.s.Alive(c) {
+		a.parked = true
+		return
+	}
 	chain := e.chain[c]
 	var target graph.NodeID
 	var t0 float64
@@ -158,7 +167,7 @@ func (e *Engine) send(c graph.NodeID, seq int, a *attempt) {
 // until recovery).
 func (e *Engine) expire(c graph.NodeID, seq int, a *attempt) {
 	k := key{c, seq}
-	if e.pending[k] != a {
+	if e.pending[k] != a || a.parked {
 		return
 	}
 	if !e.s.Missing(c, seq) {
@@ -209,6 +218,12 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 // requester and every receiver already asked, unless a recent repair from
 // this host already covers that subtree.
 func (e *Engine) repair(host graph.NodeID, seq int, pay request) {
+	if !e.s.Alive(host) {
+		// Possible via a held request whose hold expires inside the crash
+		// window: the multicast would be silently suppressed, so return
+		// before the suppression mark claims a repair that never flew.
+		return
+	}
 	t := e.s.Tree
 	var root graph.NodeID
 	if host == e.s.Topo.Source {
@@ -243,4 +258,42 @@ func (e *Engine) repair(host graph.NodeID, seq int, pay request) {
 // PendingRecoveries reports in-flight walks (testing).
 func (e *Engine) PendingRecoveries() int { return len(e.pending) }
 
-var _ protocol.Engine = (*Engine)(nil)
+// OnCrash implements protocol.FaultAware: park the crashed client's walks so
+// a permanent crash cannot re-arm timers forever.
+func (e *Engine) OnCrash(h graph.NodeID) {
+	for _, k := range e.pendingKeysFor(h) {
+		a := e.pending[k]
+		a.timer.Stop()
+		a.parked = true
+	}
+}
+
+// OnRecover implements protocol.FaultAware: resume the client's parked walks
+// where they left off.
+func (e *Engine) OnRecover(h graph.NodeID) {
+	for _, k := range e.pendingKeysFor(h) {
+		a := e.pending[k]
+		if a.parked {
+			a.parked = false
+			e.send(k.c, k.seq, a)
+		}
+	}
+}
+
+// pendingKeysFor returns h's walk keys in sequence order (resumption sends
+// draw from the shared rng streams, so order must be deterministic).
+func (e *Engine) pendingKeysFor(h graph.NodeID) []key {
+	var ks []key
+	for k := range e.pending {
+		if k.c == h {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
+	return ks
+}
+
+var (
+	_ protocol.Engine     = (*Engine)(nil)
+	_ protocol.FaultAware = (*Engine)(nil)
+)

@@ -140,6 +140,35 @@ func TestRandomLossFullRecovery(t *testing.T) {
 	}
 }
 
+func TestControlLossFullRecovery(t *testing.T) {
+	// Stochastic multi-packet run with recovery traffic itself subject to
+	// link loss: walk retries and source fallback must still recover every
+	// loss.
+	topo, err := topology.Standard(50, 0.15, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(DefaultOptions())
+	cfg := protocol.Config{Packets: 50, Interval: 50, LossyRecovery: true}
+	s, err := protocol.NewSession(topo, e, cfg, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if !res.Complete {
+		t.Fatal("incomplete run")
+	}
+	if res.Stats.Losses == 0 {
+		t.Fatal("no losses at p=0.15")
+	}
+	if res.Stats.Unrecovered != 0 {
+		t.Fatalf("%d unrecovered with lossy control traffic", res.Stats.Unrecovered)
+	}
+	if e.PendingRecoveries() != 0 {
+		t.Fatal("dangling walks")
+	}
+}
+
 func TestLostRequestRetries(t *testing.T) {
 	// Fully lossy access link kills both the data packet and the first
 	// walk; the retry timer must relaunch after healing.

@@ -49,6 +49,9 @@ type Options struct {
 	// to the network's mean link loss) instead of the paper's reliable-
 	// network model — the extension discussed in internal/core/aware.go.
 	LossAware bool
+	// Resilience configures the crash/churn hardening layer (see
+	// resilient.go). The zero value keeps the paper-faithful engine.
+	Resilience Resilience
 	// NoHoldFreshRequests disables request holding. By default a peer
 	// that receives a request for a packet it has not seen — but whose
 	// loss-free arrival time is still in the future — holds the request
@@ -75,6 +78,14 @@ type Engine struct {
 	// lastSubRepair records the send time of the latest subgroup repair
 	// multicast per (seq, subgroup root), for source-side suppression.
 	lastSubRepair map[key]float64
+
+	// Resilience state (see resilient.go). roster is non-nil only when
+	// Resilience.Enabled; strategies then aliases roster.Strategies(), so
+	// incremental replans are visible without re-wiring.
+	roster       *core.Roster
+	suspectCount map[obs]int
+	skipUntil    map[obs]float64
+	dead         map[graph.NodeID]bool
 }
 
 type key struct {
@@ -84,7 +95,14 @@ type key struct {
 
 type attempt struct {
 	idx   int // index into the peer list; len(peers) means "at source"
-	timer *sim.Timer
+	retry int // consecutive attempts at the current index (resilience)
+	// parked marks a recovery whose owner is crashed: no timer is armed
+	// until OnRecover resumes it.
+	parked bool
+	// target is the peer the armed timer is waiting on, for attributing
+	// the timeout to the right failure-detector entry.
+	target graph.NodeID
+	timer  *sim.Timer
 }
 
 // request is the payload of an RP recovery request.
@@ -104,11 +122,19 @@ func New(opt Options) *Engine {
 		opt:           opt,
 		pending:       make(map[key]*attempt),
 		lastSubRepair: make(map[key]float64),
+		suspectCount:  make(map[obs]int),
+		skipUntil:     make(map[obs]float64),
+		dead:          make(map[graph.NodeID]bool),
 	}
 }
 
 // Name implements protocol.Engine.
-func (e *Engine) Name() string { return "RP" }
+func (e *Engine) Name() string {
+	if e.opt.Resilience.Enabled {
+		return "RP-RESILIENT"
+	}
+	return "RP"
+}
 
 // Attach computes the strategies for every client with the core planner.
 func (e *Engine) Attach(s *protocol.Session) {
@@ -123,7 +149,12 @@ func (e *Engine) Attach(s *protocol.Session) {
 		}
 		p.LossProb = sum / float64(len(s.Topo.Loss))
 	}
-	e.strategies = p.All()
+	if e.opt.Resilience.Enabled {
+		e.roster = core.NewRoster(p)
+		e.strategies = e.roster.Strategies()
+	} else {
+		e.strategies = p.All()
+	}
 }
 
 // Strategies exposes the computed plans (for tests and tooling).
@@ -141,49 +172,97 @@ func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 }
 
 // send fires the request for the attempt's current index and arms the
-// fall-through timer.
+// fall-through timer. A crashed owner parks instead (resumed by OnRecover);
+// an owner whose strategy was evicted from the roster (a false-positive
+// death declaration) falls back to source-only recovery.
 func (e *Engine) send(c graph.NodeID, seq int, a *attempt) {
+	if !e.s.Alive(c) {
+		a.parked = true
+		return
+	}
 	st := e.strategies[c]
 	var target graph.NodeID
 	var t0 float64
-	if a.idx < len(st.Peers) {
-		target = st.Peers[a.idx].Peer
-		t0 = st.Peers[a.idx].Timeout
-	} else {
+	switch {
+	case st == nil:
 		target = e.s.Topo.Source
-		t0 = st.SourceTimeout
+		t0 = e.timeoutPolicy().Timeout(e.s.Routes.RTT(c, e.s.Topo.Source))
+	default:
+		for a.idx < len(st.Peers) && e.skipPeer(c, st.Peers[a.idx].Peer) {
+			a.idx++
+			a.retry = 0
+		}
+		if a.idx < len(st.Peers) {
+			target = st.Peers[a.idx].Peer
+			t0 = st.Peers[a.idx].Timeout
+		} else {
+			target = e.s.Topo.Source
+			t0 = st.SourceTimeout
+		}
 	}
 	e.s.Net.Unicast(target, sim.Packet{
 		Kind: sim.Request, Seq: seq, From: c, Payload: request{Requester: c},
 	})
-	a.timer = e.s.Eng.NewTimer(t0, func() { e.timeout(c, seq, a) })
+	a.target = target
+	a.timer = e.s.Eng.NewTimer(e.attemptTimeout(t0, a.retry), func() { e.timeout(c, seq, a) })
 }
 
-// timeout advances to the next attempt (the source attempt repeats forever,
-// so recovery is guaranteed to terminate).
+// timeoutPolicy mirrors the planner's default for clients that lost their
+// strategy to eviction.
+func (e *Engine) timeoutPolicy() core.TimeoutPolicy {
+	if e.opt.Timeout != nil {
+		return e.opt.Timeout
+	}
+	return core.ProportionalTimeout(3)
+}
+
+// timeout retries the current peer while its budget lasts, then advances to
+// the next attempt (the source attempt repeats forever, so recovery is
+// guaranteed to terminate while the client is up).
 func (e *Engine) timeout(c graph.NodeID, seq int, a *attempt) {
 	k := key{c, seq}
-	if e.pending[k] != a {
-		return // superseded
+	if e.pending[k] != a || a.parked {
+		return // superseded, or owner crashed
 	}
 	if !e.s.Missing(c, seq) {
 		delete(e.pending, k)
 		return
 	}
-	if a.idx < len(e.strategies[c].Peers) {
-		a.idx++
+	e.noteTimeout(c, a.target)
+	res := e.opt.Resilience
+	atSource := a.target == e.s.Topo.Source
+	if res.Enabled && (a.retry < res.PeerRetries || atSource) {
+		a.retry++ // retry the same target (backoff grows; capped)
+	} else {
+		a.retry = 0
+		st := e.strategies[c]
+		if st != nil && a.idx < len(st.Peers) {
+			a.idx++
+		}
 	}
 	e.send(c, seq, a)
 }
 
-// advance is the NAK fast path: skip to the next attempt immediately.
+// advance is the NAK fast path: the peer answered that it lacks the packet,
+// so skip its remaining retry budget immediately (and clear any suspicion —
+// an explicit reply is proof of life).
 func (e *Engine) advance(c graph.NodeID, seq int) {
 	k := key{c, seq}
 	a := e.pending[k]
-	if a == nil || !a.timer.Stop() {
+	if a == nil || a.parked || !a.timer.Stop() {
 		return
 	}
-	e.timeout(c, seq, a)
+	if !e.s.Missing(c, seq) {
+		delete(e.pending, k)
+		return
+	}
+	e.clearSuspicion(c, a.target)
+	a.retry = 0
+	st := e.strategies[c]
+	if st != nil && a.idx < len(st.Peers) {
+		a.idx++
+	}
+	e.send(c, seq, a)
 }
 
 // OnPacket implements protocol.Engine.
@@ -202,6 +281,7 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 			a.timer.Stop()
 			delete(e.pending, k)
 		}
+		e.clearSuspicion(host, pkt.From)
 	}
 }
 
@@ -270,4 +350,7 @@ func (e *Engine) subgroupRoot(requester graph.NodeID) graph.NodeID {
 // PendingRecoveries reports the number of in-flight recoveries (testing).
 func (e *Engine) PendingRecoveries() int { return len(e.pending) }
 
-var _ protocol.Engine = (*Engine)(nil)
+var (
+	_ protocol.Engine     = (*Engine)(nil)
+	_ protocol.FaultAware = (*Engine)(nil)
+)

@@ -8,6 +8,8 @@
 package srcrec
 
 import (
+	"sort"
+
 	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
 	"rmcast/internal/sim"
@@ -28,6 +30,10 @@ type Engine struct {
 	opt     Options
 	s       *protocol.Session
 	pending map[key]*sim.Timer
+	// parked holds recoveries whose owner is crashed (the pending entry
+	// stays, with a nil timer, so OnDetect still dedupes); OnRecover
+	// re-issues them.
+	parked map[key]bool
 }
 
 type key struct {
@@ -45,7 +51,7 @@ func New(opt Options) *Engine {
 	if opt.RetryFactor <= 0 {
 		opt.RetryFactor = 3
 	}
-	return &Engine{opt: opt, pending: make(map[key]*sim.Timer)}
+	return &Engine{opt: opt, pending: make(map[key]*sim.Timer), parked: make(map[key]bool)}
 }
 
 // Name implements protocol.Engine.
@@ -64,6 +70,11 @@ func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 }
 
 func (e *Engine) ask(c graph.NodeID, seq int) {
+	if !e.s.Alive(c) {
+		e.pending[key{c, seq}] = nil
+		e.parked[key{c, seq}] = true
+		return
+	}
 	e.s.Net.Unicast(e.s.Topo.Source, sim.Packet{
 		Kind: sim.Request, Seq: seq, From: c, Payload: request{Requester: c},
 	})
@@ -102,4 +113,48 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 // PendingRecoveries reports in-flight recoveries (testing).
 func (e *Engine) PendingRecoveries() int { return len(e.pending) }
 
-var _ protocol.Engine = (*Engine)(nil)
+// OnCrash implements protocol.FaultAware: park the crashed client's retries
+// so a permanent crash cannot re-arm timers forever.
+func (e *Engine) OnCrash(h graph.NodeID) {
+	for _, k := range e.keysFor(h) {
+		if t := e.pending[k]; t != nil {
+			t.Stop()
+			e.pending[k] = nil
+		}
+		e.parked[k] = true
+	}
+}
+
+// OnRecover implements protocol.FaultAware: re-issue the client's parked
+// requests.
+func (e *Engine) OnRecover(h graph.NodeID) {
+	for _, k := range e.keysFor(h) {
+		if !e.parked[k] {
+			continue
+		}
+		delete(e.parked, k)
+		if e.s.Missing(k.c, k.seq) {
+			e.ask(k.c, k.seq)
+		} else {
+			delete(e.pending, k)
+		}
+	}
+}
+
+// keysFor returns h's pending keys in sequence order (deterministic
+// resumption — sends draw from the shared rng streams).
+func (e *Engine) keysFor(h graph.NodeID) []key {
+	var ks []key
+	for k := range e.pending {
+		if k.c == h {
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
+	return ks
+}
+
+var (
+	_ protocol.Engine     = (*Engine)(nil)
+	_ protocol.FaultAware = (*Engine)(nil)
+)

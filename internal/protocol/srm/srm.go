@@ -17,6 +17,8 @@
 package srm
 
 import (
+	"sort"
+
 	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
 	"rmcast/internal/sim"
@@ -93,6 +95,10 @@ type key struct {
 type reqState struct {
 	timer   *sim.Timer
 	backoff int
+	// parked marks a request whose owner is crashed: no timer runs until
+	// OnRecover resumes it (a permanently crashed owner would otherwise
+	// re-arm its NACK timer forever and the run could never quiesce).
+	parked bool
 }
 
 // nack is the payload of an SRM request multicast.
@@ -184,6 +190,10 @@ func (e *Engine) adapt(m map[graph.NodeID]float64, host graph.NodeID, dups int) 
 // armRequest draws the suppression timer U[C1·d, (C1+C2)·d]·2^backoff
 // (widened by the member's adaptive factor) and schedules the NACK.
 func (e *Engine) armRequest(c graph.NodeID, seq int, rs *reqState) {
+	if !e.s.Alive(c) {
+		rs.parked = true
+		return
+	}
 	d := e.s.Routes.OneWayDelay(c, e.s.Topo.Source)
 	if d <= 0 {
 		d = 1
@@ -197,7 +207,7 @@ func (e *Engine) armRequest(c graph.NodeID, seq int, rs *reqState) {
 // repair (or lost NACK) eventually triggers another round.
 func (e *Engine) fireRequest(c graph.NodeID, seq int, rs *reqState) {
 	k := key{c, seq}
-	if e.req[k] != rs {
+	if e.req[k] != rs || rs.parked {
 		return
 	}
 	if !e.s.Missing(c, seq) {
@@ -289,6 +299,12 @@ func (e *Engine) fireRepair(host graph.NodeID, seq int) {
 	if !e.s.Has(host, seq) {
 		return // defensive: cannot repair what we do not hold
 	}
+	if !e.s.Alive(host) {
+		// The flood would be silently suppressed at the network layer;
+		// returning before the bookkeeping keeps a dead holder from
+		// claiming the global-suppression window with a phantom repair.
+		return
+	}
 	if e.opt.GlobalSuppression {
 		if at, ok := e.lastFlood[seq]; ok && e.s.Eng.Now()-at < e.diameter {
 			return // idealised model: one flood per packet per window
@@ -302,4 +318,62 @@ func (e *Engine) fireRepair(host graph.NodeID, seq int) {
 // PendingRequests reports in-flight request states (testing).
 func (e *Engine) PendingRequests() int { return len(e.req) }
 
-var _ protocol.Engine = (*Engine)(nil)
+// OnCrash implements protocol.FaultAware: park the crashed member's request
+// timers and drop its armed repair timers (it can no longer serve anyone).
+func (e *Engine) OnCrash(h graph.NodeID) {
+	for _, k := range e.keysFor(h) {
+		if rs := e.req[k]; rs != nil {
+			rs.timer.Stop()
+			rs.parked = true
+		}
+		if t := e.rep[k]; t != nil {
+			t.Stop()
+			delete(e.rep, k)
+		}
+	}
+}
+
+// OnRecover implements protocol.FaultAware: resume the member's parked
+// requests from a fresh backoff.
+func (e *Engine) OnRecover(h graph.NodeID) {
+	for _, k := range e.keysFor(h) {
+		rs := e.req[k]
+		if rs == nil || !rs.parked {
+			continue
+		}
+		rs.parked = false
+		if !e.s.Missing(k.host, k.seq) {
+			delete(e.req, k)
+			continue
+		}
+		rs.backoff = 0
+		e.armRequest(k.host, k.seq, rs)
+	}
+}
+
+// keysFor returns h's request/repair keys in sequence order — resumption
+// draws suppression timers from the shared rng stream, so the order must be
+// deterministic.
+func (e *Engine) keysFor(h graph.NodeID) []key {
+	seen := make(map[int]bool)
+	var ks []key
+	for k := range e.req {
+		if k.host == h && !seen[k.seq] {
+			seen[k.seq] = true
+			ks = append(ks, k)
+		}
+	}
+	for k := range e.rep {
+		if k.host == h && !seen[k.seq] {
+			seen[k.seq] = true
+			ks = append(ks, k)
+		}
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
+	return ks
+}
+
+var (
+	_ protocol.Engine     = (*Engine)(nil)
+	_ protocol.FaultAware = (*Engine)(nil)
+)

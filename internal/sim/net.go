@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rmcast/internal/fault"
 	"rmcast/internal/graph"
 	"rmcast/internal/mtree"
 	"rmcast/internal/rng"
@@ -107,6 +108,17 @@ type Net struct {
 	// (see QueueModel): forwarding becomes hop-by-hop events and bursts
 	// serialise per link direction.
 	Queue *QueueModel
+	// Fault, when non-nil, is the failure-injection model (see
+	// internal/fault and InstallFault): crashed hosts drop every packet
+	// they would send or receive, downed links drop every crossing, and
+	// links with a burst chain replace their flat loss draw with the
+	// Gilbert–Elliott model. A state compiled from an empty schedule is
+	// inert and leaves the run bit-identical to Fault == nil.
+	Fault *fault.State
+	// OnCrash and OnRecover fire at each effective host crash/recover
+	// transition of the installed fault schedule (see InstallFault).
+	OnCrash   func(node graph.NodeID)
+	OnRecover func(node graph.NodeID)
 
 	r        *rng.Rand
 	handlers []Handler
@@ -138,21 +150,87 @@ func NewNet(eng *Engine, topo *topology.Network, tree *mtree.Tree, routes route.
 // SetHandler registers the packet upcall for a host.
 func (n *Net) SetHandler(node graph.NodeID, h Handler) { n.handlers[node] = h }
 
+// InstallFault attaches a failure-injection model and schedules its host
+// transitions as engine events, so the OnCrash/OnRecover hooks fire at the
+// scheduled instants (the hooks may be assigned after this call; they are
+// read at fire time).
+func (n *Net) InstallFault(st *fault.State) {
+	n.Fault = st
+	for _, e := range st.HostEvents() {
+		e := e
+		n.Eng.Schedule(e.At, func() {
+			switch e.Kind {
+			case fault.CrashHost:
+				if n.OnCrash != nil {
+					n.OnCrash(e.Node)
+				}
+			case fault.RecoverHost:
+				if n.OnRecover != nil {
+					n.OnRecover(e.Node)
+				}
+			}
+		})
+	}
+}
+
+// senderDown reports whether the packet's origin host is crashed right now,
+// in which case the injection is suppressed entirely: no hops are charged
+// and no hooks fire — a dead host transmits nothing.
+func (n *Net) senderDown(pkt Packet) bool {
+	return n.Fault != nil && !n.Fault.HostUpAt(pkt.From, n.Eng.Now())
+}
+
 // deliver schedules the handler upcall for node at absolute time at.
+// Deliveries to hosts crashed at the arrival instant vanish silently.
 func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
+	if n.Fault != nil && !n.Fault.HostUpAt(node, at) {
+		return
+	}
 	if h := n.handlers[node]; h != nil {
 		n.Eng.Schedule(at, func() { h(pkt) })
 	}
 }
 
-// crossLink charges one hop for the packet and draws the link's loss; it
-// reports whether the packet survived.
-func (n *Net) crossLink(link graph.EdgeID, pkt Packet) bool {
+// upcall invokes node's handler immediately (queued-model arrivals), unless
+// the host is crashed at the current time.
+func (n *Net) upcall(node graph.NodeID, pkt Packet) {
+	if n.Fault != nil && !n.Fault.HostUpAt(node, n.Eng.Now()) {
+		return
+	}
+	if h := n.handlers[node]; h != nil {
+		h(pkt)
+	}
+}
+
+// crossLink charges one hop for the packet and decides its fate on the link
+// whose traversal begins at time at: a downed link drops every packet; an
+// up link draws loss — from the link's Gilbert–Elliott burst chain when the
+// fault model configures one, from the flat Topo.Loss rate otherwise. The
+// hop is charged even when the packet then dies (the transmission
+// happened); this is the paper's bandwidth measure.
+func (n *Net) crossLink(link graph.EdgeID, at float64, pkt Packet) bool {
 	n.Hops.add(pkt.Kind, 1)
+	if n.Fault != nil && !n.Fault.LinkUpAt(link, at) {
+		n.Drops.add(pkt.Kind, 1)
+		if n.OnDrop != nil {
+			n.OnDrop(pkt, link)
+		}
+		return false
+	}
 	if pkt.Kind != Data && !n.ControlLoss {
 		return true
 	}
-	if n.r.Bool(n.Topo.Loss[link]) {
+	lost := false
+	if n.Fault != nil {
+		if burstLost, ok := n.Fault.CrossBurst(link); ok {
+			lost = burstLost
+		} else {
+			lost = n.r.Bool(n.Topo.Loss[link])
+		}
+	} else {
+		lost = n.r.Bool(n.Topo.Loss[link])
+	}
+	if lost {
 		n.Drops.add(pkt.Kind, 1)
 		if n.OnDrop != nil {
 			n.OnDrop(pkt, link)
@@ -185,6 +263,9 @@ func (n *Net) linkDelay(link graph.EdgeID) float64 {
 // packet's fate and the end-to-end delay for testing; protocols normally
 // ignore the return values (they cannot observe them without cheating).
 func (n *Net) Unicast(dest graph.NodeID, pkt Packet) (delivered bool, delay float64) {
+	if n.senderDown(pkt) {
+		return false, math.NaN()
+	}
 	n.noteSend(pkt)
 	cur := pkt.From
 	if cur == dest {
@@ -202,8 +283,9 @@ func (n *Net) Unicast(dest graph.NodeID, pkt Packet) (delivered bool, delay floa
 		if next == graph.None {
 			panic(fmt.Sprintf("sim: no route %d→%d", cur, dest))
 		}
+		start := n.Eng.Now() + acc
 		acc += n.linkDelay(link)
-		if !n.crossLink(link, pkt) {
+		if !n.crossLink(link, start, pkt) {
 			return false, acc
 		}
 		cur = next
@@ -217,6 +299,9 @@ func (n *Net) Unicast(dest graph.NodeID, pkt Packet) (delivered bool, delay floa
 // reaches the entire group. Each tree link is traversed once (subject to
 // loss pruning); every host reached gets a delivery at its tree-path delay.
 func (n *Net) FloodTree(pkt Packet) {
+	if n.senderDown(pkt) {
+		return
+	}
 	n.noteSend(pkt)
 	if n.Queue != nil {
 		n.floodQueued(pkt.From, graph.NoEdge, pkt)
@@ -240,8 +325,9 @@ func (n *Net) floodFrom(cur, prev graph.NodeID, acc float64, pkt Packet) {
 			if h.Peer == f.prev {
 				continue
 			}
+			start := n.Eng.Now() + f.acc
 			d := f.acc + n.linkDelay(h.Edge)
-			if !n.crossLink(h.Edge, pkt) {
+			if !n.crossLink(h.Edge, start, pkt) {
 				continue // prune the subtree behind the lossy link
 			}
 			if n.handlers[h.Peer] != nil {
@@ -261,12 +347,13 @@ func (n *Net) MulticastSubtree(meet graph.NodeID, pkt Packet) {
 	if !n.Tree.IsAncestor(meet, pkt.From) {
 		panic(fmt.Sprintf("sim: %d not an ancestor of repairer %d", meet, pkt.From))
 	}
+	if n.senderDown(pkt) {
+		return
+	}
 	n.noteSend(pkt)
 	if n.Queue != nil {
 		n.ascendQueued(meet, pkt, func() {
-			if h := n.handlers[meet]; h != nil {
-				h(pkt)
-			}
+			n.upcall(meet, pkt)
 			n.subtreeFloodQueued(meet, pkt)
 		})
 		return
@@ -276,8 +363,9 @@ func (n *Net) MulticastSubtree(meet graph.NodeID, pkt Packet) {
 	cur := pkt.From
 	for cur != meet {
 		link := n.Tree.ParentLink[cur]
+		start := n.Eng.Now() + acc
 		acc += n.linkDelay(link)
-		if !n.crossLink(link, pkt) {
+		if !n.crossLink(link, start, pkt) {
 			return // repair died on the way up
 		}
 		cur = n.Tree.Parent[cur]
@@ -303,8 +391,9 @@ func (n *Net) subtreeFlood(root graph.NodeID, acc float64, pkt Packet) {
 		stack = stack[:len(stack)-1]
 		for i, c := range n.Tree.Children[f.node] {
 			link := n.Tree.ChildLink[f.node][i]
+			start := n.Eng.Now() + f.acc
 			d := f.acc + n.linkDelay(link)
-			if !n.crossLink(link, pkt) {
+			if !n.crossLink(link, start, pkt) {
 				continue
 			}
 			if n.handlers[c] != nil {
@@ -325,12 +414,13 @@ func (n *Net) MulticastDescend(sub graph.NodeID, pkt Packet) {
 	if !n.Tree.IsAncestor(pkt.From, sub) {
 		panic(fmt.Sprintf("sim: %d not an ancestor of subgroup root %d", pkt.From, sub))
 	}
+	if n.senderDown(pkt) {
+		return
+	}
 	n.noteSend(pkt)
 	if n.Queue != nil {
 		n.descendQueued(sub, pkt, func() {
-			if h := n.handlers[sub]; h != nil {
-				h(pkt)
-			}
+			n.upcall(sub, pkt)
 			n.subtreeFloodQueued(sub, pkt)
 		})
 		return
@@ -345,8 +435,9 @@ func (n *Net) MulticastDescend(sub graph.NodeID, pkt Packet) {
 	}
 	for i := len(path) - 1; i >= 0; i-- {
 		link := n.Tree.ParentLink[path[i]]
+		start := n.Eng.Now() + acc
 		acc += n.linkDelay(link)
-		if !n.crossLink(link, pkt) {
+		if !n.crossLink(link, start, pkt) {
 			return
 		}
 	}
@@ -362,6 +453,9 @@ func (n *Net) MulticastDescend(sub graph.NodeID, pkt Packet) {
 func (n *Net) MulticastFromSource(pkt Packet) {
 	if pkt.From != n.Tree.Root {
 		panic("sim: MulticastFromSource from non-root")
+	}
+	if n.senderDown(pkt) {
+		return
 	}
 	n.noteSend(pkt)
 	if n.Queue != nil {

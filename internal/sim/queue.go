@@ -75,7 +75,7 @@ func (n *Net) sendHop(link graph.EdgeID, from graph.NodeID, at float64, pkt Pack
 	if n.Queue != nil {
 		dep = n.Queue.departAfter(link, e.A == from, at)
 	}
-	if !n.crossLink(link, pkt) {
+	if !n.crossLink(link, dep, pkt) {
 		return dep, false
 	}
 	return dep + n.linkDelay(link), true
@@ -86,9 +86,7 @@ func (n *Net) unicastQueued(dest graph.NodeID, pkt Packet) {
 	var step func(cur graph.NodeID)
 	step = func(cur graph.NodeID) {
 		if cur == dest {
-			if h := n.handlers[dest]; h != nil {
-				h(pkt)
-			}
+			n.upcall(dest, pkt)
 			return
 		}
 		next, link := n.Routes.NextHop(cur, dest)
@@ -110,9 +108,7 @@ func (n *Net) floodQueued(start graph.NodeID, fromLink graph.EdgeID, pkt Packet)
 	var visit func(node graph.NodeID, via graph.EdgeID)
 	visit = func(node graph.NodeID, via graph.EdgeID) {
 		if node != start {
-			if h := n.handlers[node]; h != nil {
-				h(pkt)
-			}
+			n.upcall(node, pkt)
 		}
 		for _, half := range n.treeAdj[node] {
 			if half.Edge == via {
@@ -134,8 +130,8 @@ func (n *Net) floodQueued(start graph.NodeID, fromLink graph.EdgeID, pkt Packet)
 func (n *Net) subtreeFloodQueued(root graph.NodeID, pkt Packet) {
 	var visit func(node graph.NodeID)
 	visit = func(node graph.NodeID) {
-		if h := n.handlers[node]; h != nil && node != root {
-			h(pkt)
+		if node != root {
+			n.upcall(node, pkt)
 		}
 		for i, c := range n.Tree.Children[node] {
 			link := n.Tree.ChildLink[node][i]
