@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench bench-json figures cover fuzz fuzz-short clean
+.PHONY: all build test test-race vet check bench bench-json figures cover fuzz fuzz-short soak clean
 
 all: build vet test
 
@@ -42,12 +42,20 @@ fuzz:
 	$(GO) test -fuzz FuzzEvalAny -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzCondLossProb -fuzztime 30s ./internal/core
 	$(GO) test -fuzz FuzzSchedule -fuzztime 30s ./internal/fault
+	$(GO) test -fuzz FuzzMutator -fuzztime 30s ./internal/experiment
 
 # Quick fuzz pass for CI: a few seconds per target.
 fuzz-short:
 	$(GO) test -fuzz FuzzEvalAny -fuzztime 5s ./internal/core
 	$(GO) test -fuzz FuzzCondLossProb -fuzztime 5s ./internal/core
 	$(GO) test -fuzz FuzzSchedule -fuzztime 5s ./internal/fault
+	$(GO) test -fuzz FuzzMutator -fuzztime 5s ./internal/experiment
+
+# Long-haul adversarial soak: the full default mutation sweep at production
+# scale plus max-intensity mutation layered over mid-severity chaos, strict
+# invariant oracle on throughout. Minutes, not CI seconds.
+soak:
+	RMCAST_SOAK=1 $(GO) test -run TestAdversarialSoak -v -timeout 30m ./internal/experiment
 
 clean:
 	$(GO) clean ./...

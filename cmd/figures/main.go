@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "5|6|7|8|56|78|ablation|chaos|all")
+		fig      = flag.String("fig", "all", "5|6|7|8|56|78|ablation|chaos|adversarial|all")
 		packets  = flag.Int("packets", 100, "data packets per run")
 		reps     = flag.Int("reps", 1, "traffic-seed replicates per cell")
 		seed     = flag.Uint64("seed", 2003, "base seed")
@@ -78,7 +78,8 @@ func main() {
 	need78 := *fig == "all" || *fig == "7" || *fig == "8" || *fig == "78"
 	needAb := *fig == "all" || *fig == "ablation"
 	needCh := *fig == "all" || *fig == "chaos"
-	if !need56 && !need78 && !needAb && !needCh {
+	needAdv := *fig == "all" || *fig == "adversarial"
+	if !need56 && !need78 && !needAb && !needCh && !needAdv {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
@@ -132,6 +133,20 @@ func main() {
 		c.Packets, c.Replicates, c.BaseSeed, c.Interval = *packets, *reps, *seed, *interval
 		c.Parallel = *parallel
 		delivery, lat, p99, bw, err := c.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		emit(delivery)
+		emit(lat)
+		emit(p99)
+		emit(bw)
+	}
+	if needAdv {
+		a := experiment.DefaultAdversarial()
+		a.Packets, a.Replicates, a.BaseSeed, a.Interval = *packets, *reps, *seed, *interval
+		a.Parallel = *parallel
+		delivery, lat, p99, bw, err := a.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 			os.Exit(1)

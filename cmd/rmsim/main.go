@@ -44,7 +44,9 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit per-protocol results as JSON")
 		chaos    = flag.Bool("chaos", false,
 			"run the fault-injection (chaos) sweep instead of a single run: crashes, link outages and burst loss rising with severity, RP vs SRM vs RMA vs RP-RESILIENT")
-		reps     = flag.Int("replicates", 1, "replicate (traffic, fault) seeds per chaos cell")
+		adversarial = flag.Bool("adversarial", false,
+			"run the adversarial message-plane sweep instead of a single run: control-packet duplication, reordering, corruption and repair storms rising with intensity, SRM vs RMA vs RP vs SRC")
+		reps     = flag.Int("replicates", 1, "replicate seeds per chaos/adversarial cell")
 		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
 			"worker count for multi-protocol runs (1 = serial; output is identical either way)")
 	)
@@ -72,13 +74,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
 			os.Exit(1)
 		}
-		for _, f := range []*experiment.Figure{delivery, latency, p99, bandwidth} {
-			if err := f.Format(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
-				os.Exit(1)
-			}
-			fmt.Println()
+		emitFigures(delivery, latency, p99, bandwidth)
+		return
+	}
+
+	if *adversarial {
+		sweep := experiment.DefaultAdversarial()
+		sweep.Routers = *routers
+		sweep.BaseLoss = *loss
+		sweep.Packets = *packets
+		sweep.Interval = *interval
+		sweep.BaseSeed = *simSeed
+		sweep.Replicates = *reps
+		sweep.Parallel = *parallel
+		delivery, latency, p99, bandwidth, err := sweep.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
 		}
+		emitFigures(delivery, latency, p99, bandwidth)
 		return
 	}
 
@@ -219,5 +233,16 @@ func main() {
 	if err := tw.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// emitFigures prints a sweep's four figures as tables.
+func emitFigures(figs ...*experiment.Figure) {
+	for _, f := range figs {
+		if err := f.Format(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
 	}
 }

@@ -1,0 +1,301 @@
+// Package check is the runtime invariant oracle: an independent shadow of
+// the session's per-(client, seq) delivery state machine, updated event by
+// event during every run and cross-checked against the session's own
+// bookkeeping at the end.
+//
+// The oracle exists because the adversarial message plane (fault.Mutator)
+// attacks exactly the assumptions the accounting was built on: duplicated
+// repairs must not be counted as two recoveries, corrupted packets must
+// never reach protocol state, reordering must not re-open a recovered gap.
+// Rather than trusting the session to police itself, the oracle maintains
+// its own monotonic state machine per (client, seq) —
+//
+//	unsent → sent → {delivered | detected → recovered}
+//
+// — and treats any divergence between that machine and what the session
+// reports as a safety violation. Liveness (every live client's gap is
+// eventually recovered or explicitly classified) and conservation (the
+// counters partition the observed events; drops never exceed hops) are
+// checked once the run quiesces.
+//
+// Safety violations at event granularity panic in strict mode: they mean
+// the simulator's books are wrong, and continuing would only launder the
+// corruption into results. End-of-run findings (liveness, conservation) are
+// returned as a violation list instead — some callers run sessions that
+// violate liveness on purpose (e.g. a null engine that never repairs) and
+// assert on the classified outcome.
+package check
+
+import "fmt"
+
+// maxViolations bounds the recorded list; a broken run repeats itself.
+const maxViolations = 64
+
+// Totals is the session's end-of-run accounting handed to Finish for
+// cross-checking against the oracle's independent counts.
+type Totals struct {
+	Losses, Recoveries, Duplicates, PreDetection int64
+	DataDeliveries, LateData, Malformed          int64
+	Delivered, Unrecovered, UnrecoveredCrashed   int64
+	DataHops, RequestHops, RepairHops            int64
+	DataDrops, RequestDrops, RepairDrops         int64
+}
+
+// Oracle is the shadow state machine for one run. Hooks are O(1); the
+// memory is two bits per (client, seq) pair plus counters.
+type Oracle struct {
+	packets int
+	strict  bool
+
+	sent     []bool
+	have     [][]bool // [clientIdx][seq]
+	detected [][]bool
+
+	losses, recoveries, duplicates, preDetection int64
+	deliveries, lateData, malformed              int64
+
+	violations []string
+}
+
+// New returns an oracle for a run of packets sequence numbers over clients
+// group members. strict makes event-level safety violations panic; finish-
+// level findings are always returned, never thrown.
+func New(clients, packets int, strict bool) *Oracle {
+	o := &Oracle{
+		packets:  packets,
+		strict:   strict,
+		sent:     make([]bool, packets),
+		have:     make([][]bool, clients),
+		detected: make([][]bool, clients),
+	}
+	for i := range o.have {
+		o.have[i] = make([]bool, packets)
+		o.detected[i] = make([]bool, packets)
+	}
+	return o
+}
+
+// violate reports an event-level safety violation: panic in strict mode,
+// recorded otherwise.
+func (o *Oracle) violate(format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if o.strict {
+		panic("check: invariant violated: " + msg)
+	}
+	o.record(msg)
+}
+
+// record appends a violation to the bounded list.
+func (o *Oracle) record(msg string) {
+	if len(o.violations) < maxViolations {
+		o.violations = append(o.violations, msg)
+	}
+}
+
+// shadow cross-checks the session's view of one (client, seq) pair against
+// the oracle's before a transition is applied.
+func (o *Oracle) shadow(ci, seq int, has, det bool, event string) {
+	if o.have[ci][seq] != has {
+		o.violate("%s: client %d seq %d: session has=%v, oracle has=%v",
+			event, ci, seq, has, o.have[ci][seq])
+	}
+	if o.detected[ci][seq] != det {
+		o.violate("%s: client %d seq %d: session detected=%v, oracle detected=%v",
+			event, ci, seq, det, o.detected[ci][seq])
+	}
+}
+
+// inRange validates a client/seq pair (violations here mean a corrupted
+// packet slipped past the session's own validation).
+func (o *Oracle) inRange(ci, seq int, event string) bool {
+	if seq < 0 || seq >= o.packets || ci < 0 || ci >= len(o.have) {
+		o.violate("%s: out-of-range client %d seq %d", event, ci, seq)
+		return false
+	}
+	return true
+}
+
+// OnSent observes the source's original multicast of seq.
+func (o *Oracle) OnSent(seq int) {
+	if seq < 0 || seq >= o.packets {
+		o.violate("send: out-of-range seq %d", seq)
+		return
+	}
+	if o.sent[seq] {
+		o.violate("send: seq %d multicast twice", seq)
+	}
+	o.sent[seq] = true
+}
+
+// OnData observes an original data arrival of seq at client ci; has/det are
+// the session's pre-transition view of the pair.
+func (o *Oracle) OnData(ci, seq int, has, det bool) {
+	if !o.inRange(ci, seq, "data") {
+		return
+	}
+	if !o.sent[seq] {
+		o.violate("data: client %d received never-sent seq %d", ci, seq)
+	}
+	o.shadow(ci, seq, has, det, "data")
+	if !o.have[ci][seq] {
+		o.have[ci][seq] = true
+		o.deliveries++
+		if o.detected[ci][seq] {
+			o.lateData++
+		}
+	}
+}
+
+// OnRepair observes a repair arrival of seq. ci is the receiving client's
+// index, or -1 for a non-client host (only the never-sent invariant applies
+// there); has/det are the session's pre-transition view.
+func (o *Oracle) OnRepair(ci, seq int, has, det bool) {
+	if seq < 0 || seq >= o.packets {
+		o.violate("repair: out-of-range seq %d", seq)
+		return
+	}
+	if !o.sent[seq] {
+		o.violate("repair for never-sent seq %d", seq)
+	}
+	if ci < 0 {
+		return
+	}
+	if ci >= len(o.have) {
+		o.violate("repair: out-of-range client %d", ci)
+		return
+	}
+	o.shadow(ci, seq, has, det, "repair")
+	switch {
+	case o.have[ci][seq]:
+		// Duplicate delivery: the pair must not transition again — it is
+		// counted as pure overhead, never as a second recovery.
+		o.duplicates++
+	case o.detected[ci][seq]:
+		o.have[ci][seq] = true
+		o.recoveries++
+	default:
+		o.have[ci][seq] = true
+		o.preDetection++
+	}
+}
+
+// OnLocalRecover observes a local (no-traffic) recovery, e.g. an FEC
+// decode, of seq at client ci. The session only performs it on pairs it
+// does not hold.
+func (o *Oracle) OnLocalRecover(ci, seq int, det bool) {
+	if !o.inRange(ci, seq, "local-recover") {
+		return
+	}
+	if !o.sent[seq] {
+		o.violate("local recovery of never-sent seq %d at client %d", seq, ci)
+	}
+	o.shadow(ci, seq, false, det, "local-recover")
+	o.have[ci][seq] = true
+	if det {
+		o.recoveries++
+	} else {
+		o.preDetection++
+	}
+}
+
+// OnDetect observes client ci detecting the loss of seq. Detection is
+// monotonic: a pair is detected at most once, and never after delivery.
+func (o *Oracle) OnDetect(ci, seq int) {
+	if !o.inRange(ci, seq, "detect") {
+		return
+	}
+	if !o.sent[seq] {
+		o.violate("detect: client %d detected loss of never-sent seq %d", ci, seq)
+	}
+	if o.have[ci][seq] {
+		o.violate("detect: client %d detected seq %d after delivery", ci, seq)
+	}
+	if o.detected[ci][seq] {
+		o.violate("detect: client %d detected seq %d twice", ci, seq)
+	}
+	o.detected[ci][seq] = true
+	o.losses++
+}
+
+// OnMalformed observes one rejected malformed packet.
+func (o *Oracle) OnMalformed() { o.malformed++ }
+
+// CheckBound asserts a bounded structure honours its capacity (the dedup
+// caches' memory bound).
+func (o *Oracle) CheckBound(name string, length, capacity int) {
+	if capacity > 0 && length > capacity {
+		o.violate("%s exceeds its bound: %d > %d", name, length, capacity)
+	}
+}
+
+// Finish runs the end-of-run invariants and returns every violation found
+// (event-level ones too, in non-strict mode). down says which clients are
+// crashed at the end instant, index-aligned with the oracle's clients;
+// liveness is only asserted on complete (quiesced) runs.
+func (o *Oracle) Finish(complete bool, down []bool, t Totals) []string {
+	// Counter conservation: the session's totals must equal the oracle's
+	// independent event counts.
+	cmp := func(name string, oracle, session int64) {
+		if oracle != session {
+			o.record(fmt.Sprintf("conservation: %s: oracle counted %d, session reports %d",
+				name, oracle, session))
+		}
+	}
+	cmp("losses", o.losses, t.Losses)
+	cmp("recoveries", o.recoveries, t.Recoveries)
+	cmp("duplicates", o.duplicates, t.Duplicates)
+	cmp("pre-detection repairs", o.preDetection, t.PreDetection)
+	cmp("data deliveries", o.deliveries, t.DataDeliveries)
+	cmp("late data", o.lateData, t.LateData)
+	cmp("malformed", o.malformed, t.Malformed)
+
+	// Link conservation: a drop is a send that was not delivered, so drops
+	// can never exceed hops (sends ≥ deliveries + drops, per kind).
+	if t.DataDrops > t.DataHops {
+		o.record(fmt.Sprintf("conservation: data drops %d exceed data hops %d", t.DataDrops, t.DataHops))
+	}
+	if t.RequestDrops > t.RequestHops {
+		o.record(fmt.Sprintf("conservation: request drops %d exceed request hops %d", t.RequestDrops, t.RequestHops))
+	}
+	if t.RepairDrops > t.RepairHops {
+		o.record(fmt.Sprintf("conservation: repair drops %d exceed repair hops %d", t.RepairDrops, t.RepairHops))
+	}
+
+	// Classification cross-check: recompute the end-of-run partition from
+	// the shadow state and compare.
+	var delivered, unrec, crashed int64
+	for ci := range o.have {
+		isDown := ci < len(down) && down[ci]
+		for seq, h := range o.have[ci] {
+			switch {
+			case h:
+				delivered++
+			case isDown:
+				crashed++
+			case o.detected[ci][seq]:
+				unrec++
+			}
+		}
+	}
+	cmp("delivered", delivered, t.Delivered)
+	cmp("unrecovered", unrec, t.Unrecovered)
+	cmp("unrecovered-crashed", crashed, t.UnrecoveredCrashed)
+
+	// Liveness: once the run has quiesced, every sent packet is either held
+	// by each live client or explicitly attributed to its crash. An open
+	// gap at a live client — detected or not — means some engine gave up.
+	if complete {
+		for ci := range o.have {
+			if ci < len(down) && down[ci] {
+				continue
+			}
+			for seq := range o.have[ci] {
+				if o.sent[seq] && !o.have[ci][seq] {
+					o.record(fmt.Sprintf("liveness: client %d never recovered seq %d (detected=%v)",
+						ci, seq, o.detected[ci][seq]))
+				}
+			}
+		}
+	}
+	return o.violations
+}

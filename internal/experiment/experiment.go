@@ -131,6 +131,11 @@ type RunSpec struct {
 	// cell without Chaos.
 	Chaos     *fault.ChaosParams
 	FaultSeed uint64
+	// Mutation, when non-nil and non-empty, installs the adversarial
+	// message-plane mutator (duplication, reordering, corruption, repair
+	// storms — fault.Mutator) on top of whatever schedule Chaos generated.
+	// A nil or empty config leaves the run byte-identical to one without.
+	Mutation *fault.MutationConfig
 }
 
 // Run executes one simulation run.
@@ -155,6 +160,12 @@ func Run(spec RunSpec) (*protocol.Result, error) {
 	}
 	if spec.Chaos != nil {
 		sched := fault.Generate(*spec.Chaos, topo.Clients, len(topo.Loss), rng.New(spec.FaultSeed))
+		sched.Mutation = spec.Mutation
+		if !sched.Empty() {
+			cfg.Fault = sched
+		}
+	} else if spec.Mutation != nil {
+		sched := &fault.Schedule{Mutation: spec.Mutation}
 		if !sched.Empty() {
 			cfg.Fault = sched
 		}
@@ -175,6 +186,10 @@ func Run(spec RunSpec) (*protocol.Result, error) {
 	if res.Stats.Unrecovered > 0 {
 		return res, fmt.Errorf("experiment: run %+v left %d losses unrecovered",
 			spec, res.Stats.Unrecovered)
+	}
+	if len(res.Violations) > 0 {
+		return res, fmt.Errorf("experiment: run %+v violated %d invariants: %s",
+			spec, len(res.Violations), res.Violations[0])
 	}
 	return res, nil
 }

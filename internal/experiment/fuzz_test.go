@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"rmcast/internal/fault"
+)
+
+// FuzzMutator throws arbitrary mutation configs — including NaN, infinite,
+// negative and absurd values, which the mutator must clamp — at small but
+// complete simulation runs of every hardened engine, with the strict
+// invariant oracle on. Whatever the adversary's parameters, the run must
+// terminate, deliver everything, and keep clean books: Run errors on an
+// event-cap hit, an unrecovered loss, or any oracle violation, and the
+// oracle panics mid-run on safety divergence.
+func FuzzMutator(f *testing.F) {
+	f.Add(uint64(1), 0.3, 0.4, 0.12, 25.0, int16(3), 100.0, 300.0, int16(2), uint8(0))
+	f.Add(uint64(2), 1.0, 1.0, 1.0, 1e12, int16(999), math.Inf(-1), math.NaN(), int16(-5), uint8(1))
+	f.Add(uint64(3), math.NaN(), -1.0, 0.5, -3.0, int16(0), 0.0, 500.0, int16(16), uint8(2))
+	f.Add(uint64(4), 0.9, 0.0, 0.0, 0.0, int16(8), 200.0, 100.0, int16(1), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64,
+		dup, reorder, corrupt, maxDelay float64, maxDup int16,
+		stormFrom, stormTo float64, stormExtra int16, protoIdx uint8) {
+		p := fault.MutationParams{
+			DupProb:     dup,
+			MaxDup:      int(maxDup),
+			ReorderProb: reorder,
+			MaxDelay:    maxDelay,
+			CorruptProb: corrupt,
+		}
+		cfg := &fault.MutationConfig{
+			Request: p,
+			Repair:  p,
+			Storms:  []fault.StormWindow{{From: stormFrom, To: stormTo, Extra: int(stormExtra)}},
+		}
+		proto := AdversarialProtocols[int(protoIdx)%len(AdversarialProtocols)]
+		spec := RunSpec{
+			Routers: 25, Loss: 0.05, Protocol: proto,
+			Packets: 8, Interval: 50,
+			TopoSeed: 2003, SimSeed: seed,
+			Mutation: cfg,
+		}
+		if _, err := Run(spec); err != nil {
+			t.Fatalf("%s under %+v: %v", proto, cfg, err)
+		}
+	})
+}

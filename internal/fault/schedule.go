@@ -106,11 +106,22 @@ type Schedule struct {
 	// chain replaces its flat Topo.Loss draw. Unmapped links keep the flat
 	// Bernoulli model.
 	Burst map[graph.EdgeID]GEParams
+	// Mutation, when non-empty, attaches the adversarial message-plane
+	// mutator (duplication, reorder delay, corruption, repair storms —
+	// see mutator.go) to the run. The config is read-only: the runtime
+	// clamps into a private copy, so it may be shared across runs.
+	Mutation *MutationConfig
 }
 
 // Empty reports whether the schedule injects nothing.
 func (s *Schedule) Empty() bool {
-	return s == nil || (len(s.Events) == 0 && len(s.Burst) == 0)
+	return s == nil || (len(s.Events) == 0 && len(s.Burst) == 0 && s.Mutation.Empty())
+}
+
+// SetMutation attaches a message-plane mutation config.
+func (s *Schedule) SetMutation(cfg *MutationConfig) *Schedule {
+	s.Mutation = cfg
+	return s
 }
 
 // CrashHost schedules a host crash at the given time.

@@ -43,6 +43,7 @@ type State struct {
 	hosts map[graph.NodeID]windows
 	links map[graph.EdgeID]windows
 	burst map[graph.EdgeID]*geChain
+	mut   *Mutator
 	r     *rng.Rand
 }
 
@@ -105,8 +106,18 @@ func NewState(s *Schedule, r *rng.Rand) *State {
 	for l, p := range s.Burst {
 		st.burst[l] = &geChain{p: p}
 	}
+	// The mutator's stream is split off only when mutation is configured,
+	// so a mutation-free schedule leaves the burst chains' draws — and
+	// therefore the whole run — byte-identical to before this layer.
+	if !s.Mutation.Empty() {
+		st.mut = newMutator(s.Mutation, r.Split())
+	}
 	return st
 }
+
+// Mutator returns the compiled message-plane mutator (nil when the schedule
+// configures none).
+func (st *State) Mutator() *Mutator { return st.mut }
 
 // Schedule returns the compiled schedule (nil when none).
 func (st *State) Schedule() *Schedule { return st.sched }

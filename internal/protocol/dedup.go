@@ -1,0 +1,85 @@
+package protocol
+
+import "rmcast/internal/graph"
+
+// DedupCache is the engines' bounded duplicate-suppression memory: a
+// fixed-capacity record of (host, peer, seq) observations with a last-seen
+// time, so an engine can drop a duplicated control packet that arrives
+// within a protocol-derived window of its first copy while still honouring
+// legitimate retries, which are always spaced wider than the window.
+//
+// The memory bound is structural, not amortised: a fixed slot ring plus an
+// index map that never exceeds the ring. When the ring wraps, the oldest
+// insertion is overwritten (FIFO), which can only cause a duplicate to be
+// re-processed — wasted bandwidth, never a safety or liveness loss. The
+// invariant oracle bound-checks Len against Cap at the end of every run.
+//
+// Like the rest of the simulator, a cache belongs to a single run.
+type DedupCache struct {
+	slots []dedupSlot
+	idx   map[dedupKey]int
+	head  int
+}
+
+type dedupKey struct {
+	host, peer graph.NodeID
+	seq        int
+}
+
+type dedupSlot struct {
+	key  dedupKey
+	at   float64
+	used bool
+}
+
+// NewDedupCache returns a cache bounded to capacity entries (minimum 1).
+func NewDedupCache(capacity int) *DedupCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DedupCache{
+		slots: make([]dedupSlot, capacity),
+		idx:   make(map[dedupKey]int, capacity),
+	}
+}
+
+// Seen records the observation (host, peer, seq) at time now and reports
+// whether the same key was already observed within window ms — i.e. whether
+// this packet is a duplicate the caller should drop. An observation outside
+// the window refreshes the entry's time (it is a legitimate retry and opens
+// a new suppression window); a hit inside the window does NOT refresh it,
+// so a steady duplicate stream cannot starve legitimate retries forever.
+func (d *DedupCache) Seen(host, peer graph.NodeID, seq int, now, window float64) bool {
+	k := dedupKey{host: host, peer: peer, seq: seq}
+	if i, ok := d.idx[k]; ok {
+		if now-d.slots[i].at < window {
+			return true
+		}
+		d.slots[i].at = now
+		return false
+	}
+	s := &d.slots[d.head]
+	if s.used {
+		delete(d.idx, s.key)
+	}
+	*s = dedupSlot{key: k, at: now, used: true}
+	d.idx[k] = d.head
+	d.head++
+	if d.head == len(d.slots) {
+		d.head = 0
+	}
+	return false
+}
+
+// Len returns the live entry count.
+func (d *DedupCache) Len() int { return len(d.idx) }
+
+// Cap returns the structural bound.
+func (d *DedupCache) Cap() int { return len(d.slots) }
+
+// DedupAudited is optionally implemented by engines whose duplicate-
+// suppression caches the invariant oracle should bound-check at the end of
+// a run.
+type DedupAudited interface {
+	DedupCaches() []*DedupCache
+}

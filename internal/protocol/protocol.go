@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 
+	"rmcast/internal/check"
 	"rmcast/internal/fault"
 	"rmcast/internal/graph"
 	"rmcast/internal/metrics"
@@ -79,6 +80,25 @@ const (
 	DetectSession
 )
 
+// CheckMode selects how the runtime invariant oracle (internal/check)
+// treats what it finds. The zero value is strict, so every session —
+// including every existing test and sweep — runs under the oracle unless a
+// caller opts out.
+type CheckMode uint8
+
+const (
+	// CheckStrict (the default) panics on event-level safety violations —
+	// shadow-state divergence, a repair for a never-sent seq, a double-
+	// counted delivery — and records end-of-run findings (liveness,
+	// conservation) in Result.Violations.
+	CheckStrict CheckMode = iota
+	// CheckRecord records every violation in Result.Violations without
+	// panicking (for tests that exercise violations on purpose).
+	CheckRecord
+	// CheckOff disables the oracle entirely.
+	CheckOff
+)
+
 // Config parameterises a session run.
 type Config struct {
 	// Packets is the number of data packets the source multicasts.
@@ -122,6 +142,11 @@ type Config struct {
 	PacketTime float64
 	// MaxEvents aborts runaway runs; 0 means the package default (50M).
 	MaxEvents uint64
+	// Check selects the runtime invariant oracle's mode (default: strict —
+	// see CheckMode). The oracle shadows the session's per-(client, seq)
+	// state machine event by event; it draws no randomness and never
+	// perturbs a run's outcome.
+	Check CheckMode
 }
 
 // DefaultConfig returns the configuration used by the reproduction
@@ -169,6 +194,11 @@ type Session struct {
 	// with Topo.Clients), for per-client model validation.
 	perClient []metrics.Summary
 	stats     Stats
+
+	// oracle is the runtime invariant checker (nil under CheckOff);
+	// numNodes caches the topology size for per-packet header validation.
+	oracle   *check.Oracle
+	numNodes int
 }
 
 // Stats aggregates the per-run outcome counters.
@@ -201,6 +231,11 @@ type Stats struct {
 	// Delivered counts (client, seq) pairs held when the run ended, however
 	// obtained (original transmission, repair, or local decode).
 	Delivered int64
+	// Malformed counts packets rejected by validation — out-of-range
+	// header fields caught by the session, or unparseable payloads caught
+	// by the engines. Non-zero only under the message-plane mutator (or a
+	// protocol bug).
+	Malformed int64
 	// Latency summarises per-recovery delay (detection → repair), ms.
 	Latency metrics.Summary
 }
@@ -222,6 +257,11 @@ type Result struct {
 	PerClientLatency map[graph.NodeID]metrics.Summary
 	// Complete is false if the run hit MaxEvents before quiescing.
 	Complete bool
+	// Violations lists what the invariant oracle found (nil on a clean
+	// run): end-of-run liveness and conservation findings always, plus
+	// event-level safety findings under CheckRecord. The experiment
+	// harness treats a non-empty list as a failed run.
+	Violations []string
 }
 
 // LatencyQuantile estimates the q-quantile of per-recovery latency (ms).
@@ -350,6 +390,10 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 		nextExp:   make([]int, len(topo.Clients)),
 		latHist:   metrics.NewHistogram(0, 5000, 500),
 		perClient: make([]metrics.Summary, len(topo.Clients)),
+		numNodes:  topo.NumNodes(),
+	}
+	if cfg.Check != CheckOff {
+		s.oracle = check.New(len(topo.Clients), cfg.Packets, cfg.Check == CheckStrict)
 	}
 	for i, c := range topo.Clients {
 		s.clientIdx[c] = i
@@ -424,6 +468,16 @@ func (s *Session) Missing(c graph.NodeID, seq int) bool {
 
 // onDeliver is the single choke point for every packet arriving at a host.
 func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
+	// Control-plane header validation: recovery traffic only ever concerns
+	// sent sequence numbers and real hosts, so out-of-range fields — the
+	// mutator's corruption, by construction detectable — are rejected here,
+	// before any bookkeeping or engine state can be touched. Payloads are
+	// validated by the engines, which own their types.
+	if pkt.Kind != sim.Data &&
+		(pkt.Seq < 0 || pkt.Seq >= s.cfg.Packets || pkt.From < 0 || int(pkt.From) >= s.numNodes) {
+		s.NoteMalformed()
+		return
+	}
 	switch pkt.Kind {
 	case sim.Data:
 		if pkt.Seq < 0 || pkt.Seq >= s.cfg.Packets {
@@ -447,6 +501,10 @@ func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
 			return
 		}
 		if idx, ok := s.clientIdx[host]; ok {
+			if s.oracle != nil {
+				s.oracle.OnData(idx, pkt.Seq,
+					s.received[idx][pkt.Seq], !math.IsNaN(s.detectAt[idx][pkt.Seq]))
+			}
 			if !s.received[idx][pkt.Seq] {
 				s.received[idx][pkt.Seq] = true
 				s.stats.DataDeliveries++
@@ -462,6 +520,10 @@ func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
 		}
 	case sim.Repair:
 		if idx, ok := s.clientIdx[host]; ok {
+			if s.oracle != nil {
+				s.oracle.OnRepair(idx, pkt.Seq,
+					s.received[idx][pkt.Seq], !math.IsNaN(s.detectAt[idx][pkt.Seq]))
+			}
 			switch {
 			case s.received[idx][pkt.Seq]:
 				s.stats.Duplicates++
@@ -479,6 +541,10 @@ func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
 				s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
 					Node: int32(host), Peer: int32(pkt.From), Seq: pkt.Seq})
 			}
+		} else if s.oracle != nil {
+			// Repairs crossing non-client hosts (e.g. the source seeing an
+			// SRM flood) still carry the never-sent-seq invariant.
+			s.oracle.OnRepair(-1, pkt.Seq, false, false)
 		}
 		s.engine.OnPacket(host, pkt)
 	case sim.Request:
@@ -512,6 +578,9 @@ func (s *Session) detectLoss(i int, c graph.NodeID, seq int) {
 	}
 	s.detectAt[i][seq] = s.Eng.Now()
 	s.stats.Losses++
+	if s.oracle != nil {
+		s.oracle.OnDetect(i, seq)
+	}
 	s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Detect,
 		Node: int32(c), Peer: -1, Seq: seq})
 	s.engine.OnDetect(c, seq)
@@ -547,6 +616,9 @@ func (s *Session) RecoverLocal(c graph.NodeID, seq int) bool {
 	if !ok || s.received[idx][seq] {
 		return false
 	}
+	if s.oracle != nil {
+		s.oracle.OnLocalRecover(idx, seq, !math.IsNaN(s.detectAt[idx][seq]))
+	}
 	s.received[idx][seq] = true
 	if math.IsNaN(s.detectAt[idx][seq]) {
 		s.stats.PreDetection++
@@ -560,6 +632,16 @@ func (s *Session) RecoverLocal(c graph.NodeID, seq int) bool {
 	s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
 		Node: int32(c), Peer: int32(c), Seq: seq})
 	return true
+}
+
+// NoteMalformed counts one rejected malformed packet. The session calls it
+// for out-of-range header fields; engines call it from their payload
+// validation when a packet parses to nothing they recognise.
+func (s *Session) NoteMalformed() {
+	s.stats.Malformed++
+	if s.oracle != nil {
+		s.oracle.OnMalformed()
+	}
 }
 
 // Run executes the whole session and returns the result.
@@ -595,6 +677,9 @@ func (s *Session) Run() *Result {
 		at := float64(seq) * s.cfg.Interval
 		s.sentAt[seq] = at
 		s.Eng.Schedule(at, func() {
+			if s.oracle != nil {
+				s.oracle.OnSent(seq)
+			}
 			s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.SendData,
 				Node: int32(src), Peer: -1, Seq: seq})
 			s.Net.MulticastFromSource(sim.Packet{Kind: sim.Data, Seq: seq, From: src})
@@ -669,11 +754,42 @@ func (s *Session) Run() *Result {
 			}
 		}
 	}
+	var violations []string
+	if s.oracle != nil {
+		if da, ok := s.engine.(DedupAudited); ok {
+			for _, cache := range da.DedupCaches() {
+				s.oracle.CheckBound(s.engine.Name()+" dedup cache", cache.Len(), cache.Cap())
+			}
+		}
+		down := make([]bool, len(s.Topo.Clients))
+		for i, c := range s.Topo.Clients {
+			down[i] = s.Net.Fault != nil && !s.Net.Fault.HostUpAt(c, s.Eng.Now())
+		}
+		violations = s.oracle.Finish(complete, down, check.Totals{
+			Losses:             s.stats.Losses,
+			Recoveries:         s.stats.Recoveries,
+			Duplicates:         s.stats.Duplicates,
+			PreDetection:       s.stats.PreDetection,
+			DataDeliveries:     s.stats.DataDeliveries,
+			LateData:           s.stats.LateData,
+			Malformed:          s.stats.Malformed,
+			Delivered:          s.stats.Delivered,
+			Unrecovered:        s.stats.Unrecovered,
+			UnrecoveredCrashed: s.stats.UnrecoveredCrashed,
+			DataHops:           s.Net.Hops.Data,
+			RequestHops:        s.Net.Hops.Request,
+			RepairHops:         s.Net.Hops.Repair,
+			DataDrops:          s.Net.Drops.Data,
+			RequestDrops:       s.Net.Drops.Request,
+			RepairDrops:        s.Net.Drops.Repair,
+		})
+	}
 	perClient := make(map[graph.NodeID]metrics.Summary, len(s.Topo.Clients))
 	for i, c := range s.Topo.Clients {
 		perClient[c] = s.perClient[i]
 	}
 	return &Result{
+		Violations:       violations,
 		PerClientLatency: perClient,
 		Protocol:         s.engine.Name(),
 		Clients:          len(s.Topo.Clients),

@@ -59,7 +59,15 @@ type Engine struct {
 	repaired map[key]repairMark
 	// diameter bounds how long an in-flight repair can take to arrive.
 	diameter float64
+	// served suppresses duplicated requests: a repeat of (requester, seq)
+	// within half the requester's retry timeout is a message-plane
+	// duplicate, not a walk advance, and is dropped unanswered.
+	served *protocol.DedupCache
 }
+
+// dedupCacheSize bounds the served-request dedup cache (see
+// protocol.DedupCache); eviction only ever re-serves a duplicate.
+const dedupCacheSize = 4096
 
 type repairMark struct {
 	root graph.NodeID
@@ -90,7 +98,12 @@ type request struct {
 
 // New returns an RMA engine.
 func New(opt Options) *Engine {
-	return &Engine{opt: opt, pending: make(map[key]*attempt), repaired: make(map[key]repairMark)}
+	return &Engine{
+		opt:      opt,
+		pending:  make(map[key]*attempt),
+		repaired: make(map[key]repairMark),
+		served:   protocol.NewDedupCache(dedupCacheSize),
+	}
 }
 
 // Name implements protocol.Engine.
@@ -122,10 +135,14 @@ func (e *Engine) Attach(s *protocol.Session) {
 }
 
 // OnDetect implements protocol.Engine: start at the nearest upstream
-// receiver.
+// receiver. Monotonic guard: a packet the client already holds never
+// (re-)enters pending, whatever duplicated or reordered signal suggested it.
 func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 	k := key{c, seq}
 	if _, dup := e.pending[k]; dup {
+		return
+	}
+	if !e.s.Missing(c, seq) {
 		return
 	}
 	a := &attempt{}
@@ -186,6 +203,20 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	case sim.Request:
 		pay, ok := pkt.Payload.(request)
 		if !ok {
+			e.s.NoteMalformed()
+			return
+		}
+		// A forged requester or a MinDS deeper than the requester's own
+		// depth would drive Ancestor out of range at the source.
+		if !e.s.IsClient(pay.Requester) || pay.MinDS > e.s.Tree.Depth[pay.Requester] {
+			e.s.NoteMalformed()
+			return
+		}
+		// Duplicate suppression: retries from one requester are spaced at
+		// least a full attempt timeout apart, so a repeat inside half that
+		// window is a duplicated packet, not a walk advance.
+		window := 0.5 * e.timeout().Timeout(e.s.Routes.RTT(host, pay.Requester))
+		if e.served.Seen(host, pay.Requester, pkt.Seq, e.s.Eng.Now(), window) {
 			return
 		}
 		if e.s.Has(host, pkt.Seq) {
@@ -293,7 +324,13 @@ func (e *Engine) pendingKeysFor(h graph.NodeID) []key {
 	return ks
 }
 
+// DedupCaches implements protocol.DedupAudited.
+func (e *Engine) DedupCaches() []*protocol.DedupCache {
+	return []*protocol.DedupCache{e.served}
+}
+
 var (
-	_ protocol.Engine     = (*Engine)(nil)
-	_ protocol.FaultAware = (*Engine)(nil)
+	_ protocol.Engine       = (*Engine)(nil)
+	_ protocol.FaultAware   = (*Engine)(nil)
+	_ protocol.DedupAudited = (*Engine)(nil)
 )

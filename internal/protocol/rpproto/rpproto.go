@@ -78,6 +78,10 @@ type Engine struct {
 	// lastSubRepair records the send time of the latest subgroup repair
 	// multicast per (seq, subgroup root), for source-side suppression.
 	lastSubRepair map[key]float64
+	// served suppresses duplicated requests: a (host, requester, seq)
+	// request repeated within half the requester's retry timeout is a
+	// message-plane duplicate, not a retry, and is dropped unanswered.
+	served *protocol.DedupCache
 
 	// Resilience state (see resilient.go). roster is non-nil only when
 	// Resilience.Enabled; strategies then aliases roster.Strategies(), so
@@ -87,6 +91,10 @@ type Engine struct {
 	skipUntil    map[obs]float64
 	dead         map[graph.NodeID]bool
 }
+
+// dedupCacheSize bounds the served-request dedup cache (see
+// protocol.DedupCache); eviction only ever re-serves a duplicate.
+const dedupCacheSize = 4096
 
 type key struct {
 	c   graph.NodeID
@@ -122,6 +130,7 @@ func New(opt Options) *Engine {
 		opt:           opt,
 		pending:       make(map[key]*attempt),
 		lastSubRepair: make(map[key]float64),
+		served:        protocol.NewDedupCache(dedupCacheSize),
 		suspectCount:  make(map[obs]int),
 		skipUntil:     make(map[obs]float64),
 		dead:          make(map[graph.NodeID]bool),
@@ -160,10 +169,15 @@ func (e *Engine) Attach(s *protocol.Session) {
 // Strategies exposes the computed plans (for tests and tooling).
 func (e *Engine) Strategies() map[graph.NodeID]*core.Strategy { return e.strategies }
 
-// OnDetect implements protocol.Engine: start attempt 0.
+// OnDetect implements protocol.Engine: start attempt 0. Monotonic guard:
+// a packet the client already holds never (re-)enters pending, whatever
+// duplicated or reordered signal suggested it.
 func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 	k := key{c, seq}
 	if _, dup := e.pending[k]; dup {
+		return
+	}
+	if !e.s.Missing(c, seq) {
 		return
 	}
 	a := &attempt{}
@@ -245,11 +259,13 @@ func (e *Engine) timeout(c graph.NodeID, seq int, a *attempt) {
 
 // advance is the NAK fast path: the peer answered that it lacks the packet,
 // so skip its remaining retry budget immediately (and clear any suspicion —
-// an explicit reply is proof of life).
-func (e *Engine) advance(c graph.NodeID, seq int) {
+// an explicit reply is proof of life). Only a NAK from the peer the armed
+// timer is actually waiting on advances the walk: a duplicated or delayed
+// NAK from an earlier attempt must not double-advance past unasked peers.
+func (e *Engine) advance(c graph.NodeID, seq int, from graph.NodeID) {
 	k := key{c, seq}
 	a := e.pending[k]
-	if a == nil || a.parked || !a.timer.Stop() {
+	if a == nil || a.parked || from != a.target || !a.timer.Stop() {
 		return
 	}
 	if !e.s.Missing(c, seq) {
@@ -271,9 +287,15 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	case sim.Request:
 		switch pay := pkt.Payload.(type) {
 		case request:
+			if !e.s.IsClient(pay.Requester) {
+				e.s.NoteMalformed()
+				return
+			}
 			e.onRequest(host, pkt.Seq, pay.Requester)
 		case nak:
-			e.advance(host, pkt.Seq)
+			e.advance(host, pkt.Seq, pkt.From)
+		default:
+			e.s.NoteMalformed()
 		}
 	case sim.Repair:
 		k := key{host, pkt.Seq}
@@ -285,8 +307,15 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	}
 }
 
-// onRequest serves or declines one recovery request arriving at host.
+// onRequest serves or declines one recovery request arriving at host. A
+// repeat of the same (requester, seq) within half the requester's own retry
+// timeout cannot be a retry — retries are spaced at least one full timeout
+// apart — so it is dropped as a message-plane duplicate.
 func (e *Engine) onRequest(host graph.NodeID, seq int, requester graph.NodeID) {
+	window := 0.5 * e.timeoutPolicy().Timeout(e.s.Routes.RTT(host, requester))
+	if e.served.Seen(host, requester, seq, e.s.Eng.Now(), window) {
+		return
+	}
 	if !e.s.Has(host, seq) {
 		if !e.opt.NoHoldFreshRequests && e.s.IsClient(host) {
 			// The packet may still be in transit to us: hold the request
@@ -350,7 +379,13 @@ func (e *Engine) subgroupRoot(requester graph.NodeID) graph.NodeID {
 // PendingRecoveries reports the number of in-flight recoveries (testing).
 func (e *Engine) PendingRecoveries() int { return len(e.pending) }
 
+// DedupCaches implements protocol.DedupAudited.
+func (e *Engine) DedupCaches() []*protocol.DedupCache {
+	return []*protocol.DedupCache{e.served}
+}
+
 var (
-	_ protocol.Engine     = (*Engine)(nil)
-	_ protocol.FaultAware = (*Engine)(nil)
+	_ protocol.Engine       = (*Engine)(nil)
+	_ protocol.FaultAware   = (*Engine)(nil)
+	_ protocol.DedupAudited = (*Engine)(nil)
 )

@@ -34,7 +34,15 @@ type Engine struct {
 	// stays, with a nil timer, so OnDetect still dedupes); OnRecover
 	// re-issues them.
 	parked map[key]bool
+	// served suppresses duplicated requests at the source: a repeat of
+	// (requester, seq) within half the requester's retry timeout is a
+	// message-plane duplicate, not a retry, and is dropped unanswered.
+	served *protocol.DedupCache
 }
+
+// dedupCacheSize bounds the served-request dedup cache (see
+// protocol.DedupCache); eviction only ever re-serves a duplicate.
+const dedupCacheSize = 4096
 
 type key struct {
 	c   graph.NodeID
@@ -51,7 +59,12 @@ func New(opt Options) *Engine {
 	if opt.RetryFactor <= 0 {
 		opt.RetryFactor = 3
 	}
-	return &Engine{opt: opt, pending: make(map[key]*sim.Timer), parked: make(map[key]bool)}
+	return &Engine{
+		opt:     opt,
+		pending: make(map[key]*sim.Timer),
+		parked:  make(map[key]bool),
+		served:  protocol.NewDedupCache(dedupCacheSize),
+	}
 }
 
 // Name implements protocol.Engine.
@@ -60,10 +73,15 @@ func (e *Engine) Name() string { return "SRC" }
 // Attach implements protocol.Engine.
 func (e *Engine) Attach(s *protocol.Session) { e.s = s }
 
-// OnDetect implements protocol.Engine.
+// OnDetect implements protocol.Engine. Monotonic guard: a packet the client
+// already holds never (re-)enters pending, whatever duplicated or reordered
+// signal suggested it.
 func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 	k := key{c, seq}
 	if _, dup := e.pending[k]; dup {
+		return
+	}
+	if !e.s.Missing(c, seq) {
 		return
 	}
 	e.ask(c, seq)
@@ -97,7 +115,21 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	switch pkt.Kind {
 	case sim.Request:
 		pay, ok := pkt.Payload.(request)
-		if !ok || !e.s.Has(host, pkt.Seq) {
+		if !ok {
+			e.s.NoteMalformed()
+			return
+		}
+		if !e.s.IsClient(pay.Requester) {
+			e.s.NoteMalformed()
+			return
+		}
+		// Retries are spaced RetryFactor·RTT apart, so a repeat inside half
+		// that window is a duplicated packet and is dropped unanswered.
+		window := 0.5 * e.opt.RetryFactor * e.s.Routes.RTT(host, pay.Requester)
+		if e.served.Seen(host, pay.Requester, pkt.Seq, e.s.Eng.Now(), window) {
+			return
+		}
+		if !e.s.Has(host, pkt.Seq) {
 			return
 		}
 		e.s.Net.Unicast(pay.Requester, sim.Packet{Kind: sim.Repair, Seq: pkt.Seq, From: host})
@@ -154,7 +186,13 @@ func (e *Engine) keysFor(h graph.NodeID) []key {
 	return ks
 }
 
+// DedupCaches implements protocol.DedupAudited.
+func (e *Engine) DedupCaches() []*protocol.DedupCache {
+	return []*protocol.DedupCache{e.served}
+}
+
 var (
-	_ protocol.Engine     = (*Engine)(nil)
-	_ protocol.FaultAware = (*Engine)(nil)
+	_ protocol.Engine       = (*Engine)(nil)
+	_ protocol.FaultAware   = (*Engine)(nil)
+	_ protocol.DedupAudited = (*Engine)(nil)
 )

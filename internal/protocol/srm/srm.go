@@ -85,7 +85,16 @@ type Engine struct {
 	// seq it cared about, to detect duplication.
 	reqSeen map[key]int
 	repSeen map[key]int
+	// seen suppresses duplicated NACKs: a repeat of (requester, seq) at a
+	// host within half the minimum request-timer spacing is a message-plane
+	// duplicate, not a backoff retransmission, and must not inflate the
+	// adaptive duplicate counters or re-arm repair timers.
+	seen *protocol.DedupCache
 }
+
+// dedupCacheSize bounds the NACK dedup cache; eviction only ever lets a
+// duplicate through again (see protocol.DedupCache).
+const dedupCacheSize = 8192
 
 type key struct {
 	host graph.NodeID
@@ -121,6 +130,7 @@ func New(opt Options) *Engine {
 		repScale:   make(map[graph.NodeID]float64),
 		reqSeen:    make(map[key]int),
 		repSeen:    make(map[key]int),
+		seen:       protocol.NewDedupCache(dedupCacheSize),
 	}
 }
 
@@ -142,8 +152,13 @@ func (e *Engine) Attach(s *protocol.Session) {
 }
 
 // OnDetect implements protocol.Engine: arm the initial request timer.
+// Monotonic guard: a packet the client already holds never (re-)enters the
+// request machine, whatever duplicated or reordered signal suggested it.
 func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 	if _, dup := e.req[key{c, seq}]; dup {
+		return
+	}
+	if !e.s.Missing(c, seq) {
 		return
 	}
 	rs := &reqState{}
@@ -229,6 +244,7 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	case sim.Request:
 		pay, ok := pkt.Payload.(nack)
 		if !ok {
+			e.s.NoteMalformed()
 			return
 		}
 		e.onNACK(host, pkt.Seq, pay.Requester)
@@ -255,8 +271,23 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	}
 }
 
-// onNACK handles a foreign request seen at host.
+// onNACK handles a foreign request seen at host. Legitimate NACK rounds for
+// one requester are spaced at least C1·d apart (the request timer's lower
+// edge, before backoff widens it), so a repeat inside half that window is a
+// duplicated packet and is dropped before it can touch suppression or
+// adaptive state.
 func (e *Engine) onNACK(host graph.NodeID, seq int, requester graph.NodeID) {
+	if !e.s.IsClient(requester) {
+		e.s.NoteMalformed()
+		return
+	}
+	d0 := e.s.Routes.OneWayDelay(requester, e.s.Topo.Source)
+	if d0 <= 0 {
+		d0 = 1
+	}
+	if e.seen.Seen(host, requester, seq, e.s.Eng.Now(), 0.5*e.opt.C1*d0) {
+		return
+	}
 	k := key{host, seq}
 	e.reqSeen[k]++
 	if e.s.Has(host, seq) {
@@ -373,7 +404,13 @@ func (e *Engine) keysFor(h graph.NodeID) []key {
 	return ks
 }
 
+// DedupCaches implements protocol.DedupAudited.
+func (e *Engine) DedupCaches() []*protocol.DedupCache {
+	return []*protocol.DedupCache{e.seen}
+}
+
 var (
-	_ protocol.Engine     = (*Engine)(nil)
-	_ protocol.FaultAware = (*Engine)(nil)
+	_ protocol.Engine       = (*Engine)(nil)
+	_ protocol.FaultAware   = (*Engine)(nil)
+	_ protocol.DedupAudited = (*Engine)(nil)
 )

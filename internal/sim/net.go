@@ -122,9 +122,18 @@ type Net struct {
 
 	r        *rng.Rand
 	handlers []Handler
+	// mut is the message-plane mutator of the installed fault state (nil
+	// when none): control-plane deliveries route through deliverMutated,
+	// which may duplicate, delay, or corrupt them. Data is never mutated.
+	mut *fault.Mutator
 	// treeAdj is adjacency restricted to tree links, for flood traversal.
 	treeAdj [][]graph.Half
 }
+
+// Garbage is the payload substituted when the fault mutator corrupts a
+// control packet's payload. Protocol engines must reject it through their
+// payload validation (counted as malformed) rather than misbehave.
+type Garbage struct{}
 
 // NewNet wires a network simulation over the given substrate. The rng
 // stream is owned by the Net afterwards (loss draws must not interleave
@@ -156,6 +165,7 @@ func (n *Net) SetHandler(node graph.NodeID, h Handler) { n.handlers[node] = h }
 // read at fire time).
 func (n *Net) InstallFault(st *fault.State) {
 	n.Fault = st
+	n.mut = st.Mutator()
 	for _, e := range st.HostEvents() {
 		e := e
 		n.Eng.Schedule(e.At, func() {
@@ -182,7 +192,18 @@ func (n *Net) senderDown(pkt Packet) bool {
 
 // deliver schedules the handler upcall for node at absolute time at.
 // Deliveries to hosts crashed at the arrival instant vanish silently.
+// Control-plane deliveries pass through the message mutator when one is
+// installed and active for their class.
 func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
+	if n.mut != nil && pkt.Kind != Data && n.mut.Active(classOf(pkt.Kind)) {
+		n.deliverMutated(node, at, pkt)
+		return
+	}
+	n.deliverAt(node, at, pkt)
+}
+
+// deliverAt is the mutation-free delivery: crash check, then schedule.
+func (n *Net) deliverAt(node graph.NodeID, at float64, pkt Packet) {
 	if n.Fault != nil && !n.Fault.HostUpAt(node, at) {
 		return
 	}
@@ -191,9 +212,48 @@ func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
 	}
 }
 
+// deliverMutated samples one delivery's adversarial fate: the original copy
+// (possibly delayed and corrupted) plus any duplicate copies, each intact
+// and independently delayed. Every copy still respects the crash model at
+// its own arrival instant.
+func (n *Net) deliverMutated(node graph.NodeID, at float64, pkt Packet) {
+	var mu fault.Mutation
+	if !n.mut.Sample(classOf(pkt.Kind), at, &mu) {
+		n.deliverAt(node, at, pkt)
+		return
+	}
+	orig := pkt
+	switch mu.Corrupt {
+	case fault.CorruptSeq:
+		pkt.Seq = -1 - pkt.Seq
+	case fault.CorruptFrom:
+		pkt.From = -1 - pkt.From
+	case fault.CorruptPayload:
+		pkt.Payload = Garbage{}
+	}
+	n.deliverAt(node, at+mu.Delay, pkt)
+	for _, d := range mu.Copies {
+		n.deliverAt(node, at+d, orig)
+	}
+}
+
+// classOf maps a control packet kind onto the mutator's class space.
+func classOf(k Kind) fault.MsgClass {
+	if k == Repair {
+		return fault.ClassRepair
+	}
+	return fault.ClassRequest
+}
+
 // upcall invokes node's handler immediately (queued-model arrivals), unless
-// the host is crashed at the current time.
+// the host is crashed at the current time. A mutated control delivery is
+// rescheduled through deliverMutated instead — its copies need their own
+// arrival events.
 func (n *Net) upcall(node graph.NodeID, pkt Packet) {
+	if n.mut != nil && pkt.Kind != Data && n.mut.Active(classOf(pkt.Kind)) {
+		n.deliverMutated(node, n.Eng.Now(), pkt)
+		return
+	}
 	if n.Fault != nil && !n.Fault.HostUpAt(node, n.Eng.Now()) {
 		return
 	}
