@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench bench-json figures cover fuzz fuzz-short soak clean
+.PHONY: all build test test-race vet check bench bench-json bench-diff smoke-bench profile figures cover fuzz fuzz-short soak clean
 
 all: build vet test
 
@@ -30,6 +30,28 @@ bench:
 # trajectory is tracked across PRs (see EXPERIMENTS.md "Performance").
 bench-json:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x -json ./... > BENCH_$$(date +%Y-%m-%d).json
+
+# Compare the two newest BENCH_*.json captures: fails when a tracked
+# benchmark (the Figure-5 macro benchmarks) regressed > 10% in ns/op.
+bench-diff:
+	@files="$$(ls -t BENCH_*.json 2>/dev/null | head -2)"; \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "bench-diff: need two BENCH_*.json captures (run 'make bench-json')"; exit 1; fi; \
+	echo "comparing $$2 (old) -> $$1 (new)"; \
+	$(GO) run ./cmd/benchdiff "$$2" "$$1"
+
+# Cheap CI perf gate: one iteration of the n=50 macro benchmarks plus the
+# allocation-budget tests, so a perf-hostile change fails fast without
+# burning CI minutes on the full sweep.
+smoke-bench:
+	$(GO) test -run TestAllocs -count=1 ./internal/sim
+	$(GO) test -run xxx -bench 'BenchmarkFigure5/n=50$$' -benchmem -benchtime 1x .
+
+# CPU+heap profile of a representative run; inspect with `go tool pprof`.
+profile:
+	$(GO) run ./cmd/rmsim -routers 200 -protocol all -parallel 1 \
+		-cpuprofile cpu.out -memprofile mem.out
+	@echo "view: $(GO) tool pprof cpu.out   /   $(GO) tool pprof mem.out"
 
 # Regenerate the paper's figures and the ablation tables.
 figures:

@@ -1,0 +1,154 @@
+// Command benchdiff compares two benchmark captures produced by
+// `make bench-json` (`go test -json -bench ...`) and fails when a tracked
+// benchmark regressed in ns/op by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -threshold 0.10 -track '^BenchmarkFigure5/' OLD.json NEW.json
+//
+// Only benchmarks whose names match -track gate the exit status (the
+// default tracks the paper-figure macro benchmarks); everything else is
+// reported for information. Improvements never fail.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// benchLine matches a self-contained benchmark result line, e.g.
+// "BenchmarkFigure5/n=50/SRM-8   30   5614447 ns/op ...". The trailing -N
+// GOMAXPROCS suffix is stripped from the reported name.
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// nsOnly matches the numbers-only form test2json emits when the benchmark
+// name was flushed in an earlier output event; the name then rides in the
+// event's Test field.
+var nsOnly = regexp.MustCompile(`^\s*\d+\t\s*([0-9.]+) ns/op`)
+
+// testEvent is the subset of the `go test -json` event stream we read.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// parse extracts benchmark name → ns/op from a capture file. A benchmark
+// appearing several times (e.g. -count > 1) keeps its last value.
+func parse(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	res := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON lines (raw bench output)
+		}
+		if ev.Action != "output" || !strings.Contains(ev.Output, " ns/op") {
+			continue
+		}
+		name, val := ev.Test, ""
+		if m := benchLine.FindStringSubmatch(ev.Output); m != nil {
+			if name == "" {
+				name = m[1]
+			}
+			val = m[3]
+		} else if name != "" {
+			if m := nsOnly.FindStringSubmatch(ev.Output); m != nil {
+				val = m[1]
+			}
+		}
+		if name == "" || val == "" {
+			continue
+		}
+		var ns float64
+		if _, err := fmt.Sscanf(val, "%g", &ns); err == nil {
+			res[name] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return res, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10,
+		"maximum tolerated ns/op regression on tracked benchmarks (fraction)")
+	track := flag.String("track", `^BenchmarkFigure5/`,
+		"regexp of benchmark names that gate the exit status")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	tracked, err := regexp.Compile(*track)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -track: %v\n", err)
+		os.Exit(2)
+	}
+	oldNs, err := parse(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	newNs, err := parse(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(newNs))
+	for name := range newNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tstatus")
+	for _, name := range names {
+		old, ok := oldNs[name]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\tnew\n", name, newNs[name])
+			continue
+		}
+		delta := (newNs[name] - old) / old
+		status := "ok"
+		if tracked.MatchString(name) {
+			if delta > *threshold {
+				status = "REGRESSION"
+				failed = true
+			}
+		} else {
+			status = "untracked"
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", name, old, newNs[name], 100*delta, status)
+	}
+	for name := range oldNs {
+		if _, ok := newNs[name]; !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\tremoved\n", name, oldNs[name])
+		}
+	}
+	tw.Flush()
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: tracked benchmark regressed more than %.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+}

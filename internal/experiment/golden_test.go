@@ -1,0 +1,123 @@
+package experiment
+
+// Golden-digest determinism gate for the zero-allocation event core: every
+// refactor of internal/sim must leave fixed-seed runs byte-identical. The
+// digests below were captured from the pre-refactor engine (container/heap +
+// closure events); the typed 4-ary heap, pooled hop walkers, and pooled
+// timers must reproduce them exactly, because the (at, seq) total order —
+// and therefore every rng draw and every counter — is unchanged.
+//
+// If a digest diverges, the event core changed observable behaviour. Do not
+// re-capture these values without first explaining *why* the firing order
+// moved.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"testing"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/protocol"
+	"rmcast/internal/topology"
+)
+
+// digestResult folds every observable field of a run result into one FNV-1a
+// hash. Floats are formatted with strconv's shortest round-trip form, so two
+// digests match iff every float is bit-identical.
+func digestResult(res *protocol.Result) string {
+	h := fnv.New64a()
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	fmt.Fprintf(h, "proto=%s clients=%d packets=%d events=%d simtime=%s\n",
+		res.Protocol, res.Clients, res.Packets, res.Events, f(res.SimTime))
+	s := res.Stats
+	fmt.Fprintf(h, "losses=%d rec=%d unrec=%d dup=%d predet=%d data=%d late=%d crashed=%d delivered=%d malformed=%d\n",
+		s.Losses, s.Recoveries, s.Unrecovered, s.Duplicates, s.PreDetection,
+		s.DataDeliveries, s.LateData, s.UnrecoveredCrashed, s.Delivered, s.Malformed)
+	fmt.Fprintf(h, "lat n=%d mean=%s var=%s min=%s max=%s\n",
+		s.Latency.Count(), f(s.Latency.Mean()), f(s.Latency.Variance()),
+		f(s.Latency.Min()), f(s.Latency.Max()))
+	fmt.Fprintf(h, "hops=%d,%d,%d drops=%d,%d,%d\n",
+		res.Hops.Data, res.Hops.Request, res.Hops.Repair,
+		res.Drops.Data, res.Drops.Request, res.Drops.Repair)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		fmt.Fprintf(h, "q%s=%s\n", f(q), f(res.LatencyQuantile(q)))
+	}
+	nodes := make([]int, 0, len(res.PerClientLatency))
+	for n := range res.PerClientLatency {
+		nodes = append(nodes, int(n))
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		sum := res.PerClientLatency[graph.NodeID(n)]
+		fmt.Fprintf(h, "c%d n=%d mean=%s min=%s max=%s\n",
+			n, sum.Count(), f(sum.Mean()), f(sum.Min()), f(sum.Max()))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// goldenDigests: captured on the pre-refactor event core (see file comment).
+// Key: protocol name + config variant.
+var goldenDigests = map[string]string{
+	"SRM/plain":  "9fef9d0fc6b705e9",
+	"RMA/plain":  "d0bdb5371b28be14",
+	"RP/plain":   "c2ae2b1a7163e4c8",
+	"SRC/plain":  "c8bf39c33a2c204a",
+	"SRM/queued": "b504924ee981daac",
+	"RMA/queued": "43688f6583dc842b",
+	"RP/queued":  "261c2b4e6e6df5ff",
+	"SRC/queued": "4fb96363e2242379",
+}
+
+// TestGoldenDigests runs the four engines under the paper's plain model and
+// under the store-and-forward queueing model (which exercises the queued
+// hop-walker paths) and asserts the results are byte-identical to the
+// pre-refactor captures.
+func TestGoldenDigests(t *testing.T) {
+	for _, proto := range []string{"SRM", "RMA", "RP", "SRC"} {
+		for _, variant := range []string{"plain", "queued"} {
+			key := proto + "/" + variant
+			t.Run(key, func(t *testing.T) {
+				res := goldenRun(t, proto, variant == "queued")
+				got := digestResult(res)
+				want := goldenDigests[key]
+				if got != want {
+					t.Errorf("digest %s = %s, want %s (fixed-seed output diverged from the pre-refactor event core)",
+						key, got, want)
+				}
+			})
+		}
+	}
+}
+
+// goldenRun executes one fixed-seed run: the Figure-5 n=50 cell, either
+// plain (precomputed-path delivery) or with the congestion model on (queued
+// hop-by-hop walkers). The queued variant needs detection headroom for
+// queueing delay, exactly as BenchmarkCongestion does.
+func goldenRun(t *testing.T, proto string, queued bool) *protocol.Result {
+	t.Helper()
+	topo, err := topology.Standard(50, 0.05, 2053)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := protocol.Config{Packets: 40, Interval: 50}
+	if queued {
+		cfg.PacketTime = 0.2
+		cfg.DetectLag = 4
+	}
+	s, err := protocol.NewSession(topo, eng, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run()
+	if !res.Complete || res.Stats.Unrecovered > 0 {
+		t.Fatalf("%s queued=%v: incomplete run (unrecovered=%d complete=%v)",
+			proto, queued, res.Stats.Unrecovered, res.Complete)
+	}
+	return res
+}

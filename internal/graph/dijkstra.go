@@ -1,9 +1,6 @@
 package graph
 
-import (
-	"container/heap"
-	"math"
-)
+import "math"
 
 // ShortestPaths holds a single-source shortest-path tree computed by
 // Dijkstra. It mirrors BFSResult but with float64 distances.
@@ -36,17 +33,48 @@ type spItem struct {
 	node NodeID
 }
 
+// spHeap is a typed binary min-heap on dist. The sift routines mirror
+// container/heap's up/down exactly (strict less, left child preferred on
+// ties), so the pop order — and with it every tie-dependent parent choice —
+// is identical to the boxed implementation this replaced, without the
+// per-item interface{} allocation.
 type spHeap []spItem
 
-func (h spHeap) Len() int            { return len(h) }
-func (h spHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spItem)) }
-func (h *spHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *spHeap) push(it spItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *spHeap) pop() spItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].dist < s[j].dist {
+			j = j2
+		}
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 
@@ -75,9 +103,9 @@ func Dijkstra(g *Undirected, src NodeID, w WeightFunc) *ShortestPaths {
 	res.Dist[src] = 0
 	res.Hops[src] = 0
 	done := make([]bool, n)
-	h := &spHeap{{0, src}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(spItem)
+	h := spHeap{{0, src}}
+	for len(h) > 0 {
+		it := h.pop()
 		u := it.node
 		if done[u] {
 			continue // stale duplicate
@@ -94,7 +122,7 @@ func Dijkstra(g *Undirected, src NodeID, w WeightFunc) *ShortestPaths {
 				res.Parent[half.Peer] = u
 				res.ParentEdge[half.Peer] = half.Edge
 				res.Hops[half.Peer] = res.Hops[u] + 1
-				heap.Push(h, spItem{nd, half.Peer})
+				h.push(spItem{nd, half.Peer})
 			}
 		}
 	}
@@ -172,20 +200,20 @@ func TopologicalOrder(d *Digraph) []NodeID {
 		}
 	}
 	// Min-heap on node ID for determinism.
-	h := &nodeHeap{}
+	var h nodeHeap
 	for u := NodeID(0); int(u) < n; u++ {
 		if indeg[u] == 0 {
-			heap.Push(h, u)
+			h.push(u)
 		}
 	}
 	order := make([]NodeID, 0, n)
-	for h.Len() > 0 {
-		u := heap.Pop(h).(NodeID)
+	for len(h) > 0 {
+		u := h.pop()
 		order = append(order, u)
 		for _, a := range d.Out(u) {
 			indeg[a.To]--
 			if indeg[a.To] == 0 {
-				heap.Push(h, a.To)
+				h.push(a.To)
 			}
 		}
 	}
@@ -195,16 +223,44 @@ func TopologicalOrder(d *Digraph) []NodeID {
 	return order
 }
 
+// nodeHeap is a typed binary min-heap on NodeID (IDs are unique, so the
+// order is total and any heap yields the same deterministic pop sequence).
 type nodeHeap []NodeID
 
-func (h nodeHeap) Len() int            { return len(h) }
-func (h nodeHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(NodeID)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func (h *nodeHeap) push(u NodeID) {
+	s := append(*h, u)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j] < s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *nodeHeap) pop() NodeID {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2] < s[j] {
+			j = j2
+		}
+		if !(s[j] < s[i]) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	u := s[n]
+	*h = s[:n]
+	return u
 }

@@ -24,7 +24,6 @@
 package lsr
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -171,9 +170,9 @@ func (rt *Routing) Prepare(d graph.NodeID) {
 	}
 	dist[d] = 0
 	done := make([]bool, n)
-	h := &lsrHeap{{0, d}}
-	for h.Len() > 0 {
-		it := heap.Pop(h).(lsrItem)
+	h := lsrHeap{{0, d}}
+	for len(h) > 0 {
+		it := h.pop()
 		u := it.node
 		if done[u] {
 			continue
@@ -195,7 +194,7 @@ func (rt *Routing) Prepare(d graph.NodeID) {
 			dist[v] = nd
 			next[v] = u
 			via[v] = half.Edge
-			heap.Push(h, lsrItem{nd, v})
+			h.push(lsrItem{nd, v})
 		}
 	}
 	rt.dist[d] = dist
@@ -208,17 +207,46 @@ type lsrItem struct {
 	node graph.NodeID
 }
 
+// lsrHeap is a typed binary min-heap on dist, mirroring container/heap's
+// sift semantics exactly (strict less, left child preferred on ties) so pop
+// order is unchanged from the boxed implementation it replaced.
 type lsrHeap []lsrItem
 
-func (h lsrHeap) Len() int            { return len(h) }
-func (h lsrHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h lsrHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *lsrHeap) Push(x interface{}) { *h = append(*h, x.(lsrItem)) }
-func (h *lsrHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *lsrHeap) push(it lsrItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *lsrHeap) pop() lsrItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].dist < s[j].dist {
+			j = j2
+		}
+		if !(s[j].dist < s[i].dist) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 

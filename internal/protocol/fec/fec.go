@@ -51,7 +51,7 @@ type Engine struct {
 	// paritySeen counts parity symbols held per (client, block).
 	paritySeen map[key]int
 	// pending tracks fallback timers per (client, seq).
-	pending map[key]*sim.Timer
+	pending map[key]sim.Timer
 }
 
 type key struct {
@@ -84,7 +84,7 @@ func New(opt Options) *Engine {
 	return &Engine{
 		opt:        opt,
 		paritySeen: make(map[key]int),
-		pending:    make(map[key]*sim.Timer),
+		pending:    make(map[key]sim.Timer),
 	}
 }
 
@@ -166,7 +166,7 @@ func (e *Engine) tryDecode(c graph.NodeID, b int) {
 
 func (e *Engine) cancel(c graph.NodeID, seq int) {
 	k := key{c, seq}
-	if t := e.pending[k]; t != nil {
+	if t, ok := e.pending[k]; ok {
 		t.Stop()
 		delete(e.pending, k)
 	}

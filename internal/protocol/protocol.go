@@ -358,7 +358,7 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 	net.ControlLoss = cfg.LossyRecovery
 	net.Jitter = cfg.Jitter
 	if cfg.PacketTime > 0 {
-		net.Queue = sim.NewQueueModel(cfg.PacketTime)
+		net.Queue = sim.NewQueueModelSized(cfg.PacketTime, topo.G.NumEdges())
 	}
 	if !cfg.Fault.Empty() {
 		if err := cfg.Fault.Validate(topo.NumNodes(), len(topo.Loss)); err != nil {
@@ -559,6 +559,38 @@ func (s *Session) emit(e trace.Event) {
 	}
 }
 
+// Engine-event opcodes for the typed, closure-free callbacks the session
+// schedules on hot paths (see sim.Callee): one per data packet sent, one
+// per (client, packet) idealised loss detection, one per heartbeat.
+const (
+	opSendData = iota
+	opDetect
+	opHeartbeat
+)
+
+// OnSimEvent implements sim.Callee: the session's per-packet events ride in
+// typed engine events instead of allocating a closure each.
+func (s *Session) OnSimEvent(op, a, b int) {
+	switch op {
+	case opSendData:
+		seq := a
+		if s.oracle != nil {
+			s.oracle.OnSent(seq)
+		}
+		s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.SendData,
+			Node: int32(s.Topo.Source), Peer: -1, Seq: seq})
+		s.Net.MulticastFromSource(sim.Packet{Kind: sim.Data, Seq: seq, From: s.Topo.Source})
+	case opDetect:
+		i, seq := a, b
+		s.detectLoss(i, s.Topo.Clients[i], seq)
+	case opHeartbeat:
+		s.Net.MulticastFromSource(sim.Packet{
+			Kind: sim.Data, Seq: -1, From: s.Topo.Source,
+			Payload: heartbeat{Highest: a},
+		})
+	}
+}
+
 // detectLoss records and dispatches one loss detection (idempotent). A
 // client that is crashed at the detection instant cannot observe the gap:
 // detection is deferred to its recovery time — the recover hook, scheduled
@@ -571,7 +603,7 @@ func (s *Session) detectLoss(i int, c graph.NodeID, seq int) {
 	if f := s.Net.Fault; f != nil {
 		if until := f.HostDownUntil(c, s.Eng.Now()); !math.IsNaN(until) {
 			if !math.IsInf(until, 1) {
-				s.Eng.Schedule(until, func() { s.detectLoss(i, c, seq) })
+				s.Eng.ScheduleCall(until, s, opDetect, i, seq)
 			}
 			return
 		}
@@ -665,7 +697,6 @@ func (s *Session) Run() *Result {
 				Node: int32(link), Peer: -1, Seq: pkt.Seq})
 		}
 	}
-	src := s.Topo.Source
 	var maxArrive float64
 	for _, c := range s.Topo.Clients {
 		if w := s.Net.WouldArrive(c); w > maxArrive {
@@ -673,23 +704,14 @@ func (s *Session) Run() *Result {
 		}
 	}
 	for seq := 0; seq < s.cfg.Packets; seq++ {
-		seq := seq
 		at := float64(seq) * s.cfg.Interval
 		s.sentAt[seq] = at
-		s.Eng.Schedule(at, func() {
-			if s.oracle != nil {
-				s.oracle.OnSent(seq)
-			}
-			s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.SendData,
-				Node: int32(src), Peer: -1, Seq: seq})
-			s.Net.MulticastFromSource(sim.Packet{Kind: sim.Data, Seq: seq, From: src})
-		})
+		s.Eng.ScheduleCall(at, s, opSendData, seq, 0)
 		if s.cfg.Detection == DetectIdeal {
 			// Idealised loss detection per client.
 			for i, c := range s.Topo.Clients {
-				i, c := i, c
 				when := at + s.Net.WouldArrive(c) + s.cfg.DetectLag + detectEps
-				s.Eng.Schedule(when, func() { s.detectLoss(i, c, seq) })
+				s.Eng.ScheduleCall(when, s, opDetect, i, seq)
 			}
 		}
 	}
@@ -717,17 +739,11 @@ func (s *Session) Run() *Result {
 		}
 		end := float64(s.cfg.Packets-1) * s.cfg.Interval
 		for at := hb; at <= end+hb; at += hb {
-			at := at
-			s.Eng.Schedule(at, func() {
-				highest := int(at / s.cfg.Interval)
-				if highest >= s.cfg.Packets {
-					highest = s.cfg.Packets - 1
-				}
-				s.Net.MulticastFromSource(sim.Packet{
-					Kind: sim.Data, Seq: -1, From: src,
-					Payload: heartbeat{Highest: highest},
-				})
-			})
+			highest := int(at / s.cfg.Interval)
+			if highest >= s.cfg.Packets {
+				highest = s.cfg.Packets - 1
+			}
+			s.Eng.ScheduleCall(at, s, opHeartbeat, highest, 0)
 		}
 	}
 	maxEvents := s.cfg.MaxEvents

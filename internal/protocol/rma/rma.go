@@ -84,7 +84,7 @@ type attempt struct {
 	// parked marks a walk whose owner is crashed: no timer runs until
 	// OnRecover resumes it.
 	parked bool
-	timer  *sim.Timer
+	timer  sim.Timer
 }
 
 // request is the payload of an RMA recovery request.

@@ -110,7 +110,7 @@ type attempt struct {
 	// target is the peer the armed timer is waiting on, for attributing
 	// the timeout to the right failure-detector entry.
 	target graph.NodeID
-	timer  *sim.Timer
+	timer  sim.Timer
 }
 
 // request is the payload of an RP recovery request.

@@ -29,9 +29,9 @@ func DefaultOptions() Options { return Options{RetryFactor: 3} }
 type Engine struct {
 	opt     Options
 	s       *protocol.Session
-	pending map[key]*sim.Timer
+	pending map[key]sim.Timer
 	// parked holds recoveries whose owner is crashed (the pending entry
-	// stays, with a nil timer, so OnDetect still dedupes); OnRecover
+	// stays, with a zero Timer, so OnDetect still dedupes); OnRecover
 	// re-issues them.
 	parked map[key]bool
 	// served suppresses duplicated requests at the source: a repeat of
@@ -61,7 +61,7 @@ func New(opt Options) *Engine {
 	}
 	return &Engine{
 		opt:     opt,
-		pending: make(map[key]*sim.Timer),
+		pending: make(map[key]sim.Timer),
 		parked:  make(map[key]bool),
 		served:  protocol.NewDedupCache(dedupCacheSize),
 	}
@@ -89,7 +89,7 @@ func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 
 func (e *Engine) ask(c graph.NodeID, seq int) {
 	if !e.s.Alive(c) {
-		e.pending[key{c, seq}] = nil
+		e.pending[key{c, seq}] = sim.Timer{}
 		e.parked[key{c, seq}] = true
 		return
 	}
@@ -100,7 +100,7 @@ func (e *Engine) ask(c graph.NodeID, seq int) {
 	e.pending[k] = e.s.Eng.NewTimer(
 		e.opt.RetryFactor*e.s.Routes.RTT(c, e.s.Topo.Source),
 		func() {
-			if e.pending[k] == nil {
+			if !e.pending[k].Valid() {
 				return
 			}
 			delete(e.pending, k)
@@ -135,7 +135,7 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 		e.s.Net.Unicast(pay.Requester, sim.Packet{Kind: sim.Repair, Seq: pkt.Seq, From: host})
 	case sim.Repair:
 		k := key{host, pkt.Seq}
-		if t := e.pending[k]; t != nil {
+		if t, ok := e.pending[k]; ok && t.Valid() {
 			t.Stop()
 			delete(e.pending, k)
 		}
@@ -149,9 +149,9 @@ func (e *Engine) PendingRecoveries() int { return len(e.pending) }
 // so a permanent crash cannot re-arm timers forever.
 func (e *Engine) OnCrash(h graph.NodeID) {
 	for _, k := range e.keysFor(h) {
-		if t := e.pending[k]; t != nil {
+		if t := e.pending[k]; t.Valid() {
 			t.Stop()
-			e.pending[k] = nil
+			e.pending[k] = sim.Timer{}
 		}
 		e.parked[k] = true
 	}

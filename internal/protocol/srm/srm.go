@@ -17,7 +17,7 @@
 package srm
 
 import (
-	"sort"
+	"math"
 
 	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
@@ -64,18 +64,25 @@ func DefaultOptions() Options {
 }
 
 // Engine is the SRM protocol engine.
+//
+// Per-(host,seq) state is dense: the session validates every control
+// packet's host and sequence range before dispatch, so slices indexed by
+// host·packets+seq replace the hash maps the hot path used to thrash.
 type Engine struct {
 	opt Options
 	s   *protocol.Session
 
-	req map[key]*reqState  // per missing (client,seq)
-	rep map[key]*sim.Timer // per (holder,seq) armed repair timer
+	// packets sizes the dense (host,seq) index, fixed at Attach.
+	packets int
+	req     []*reqState // per missing (client,seq); nil = none
+	nreq    int         // live req entries, for PendingRequests
+	rep     []sim.Timer // per (holder,seq) armed repair timer; zero = none
 	// lastRepair records when a host last saw (or sent) a repair for a
-	// seq, for the ignore window.
-	lastRepair map[key]float64
+	// seq, for the ignore window. NaN = never.
+	lastRepair []float64
 	// lastFlood records the last repair-flood time per seq (global
-	// suppression); diameter is the suppression window.
-	lastFlood map[int]float64
+	// suppression; NaN = never); diameter is the suppression window.
+	lastFlood []float64
 	diameter  float64
 	// Adaptive-timer state, per member: multiplicative widening factors
 	// for the request and repair windows, and duplicate observations.
@@ -83,8 +90,8 @@ type Engine struct {
 	repScale map[graph.NodeID]float64
 	// reqSeen/repSeen count the NACK/repair floods a member observed per
 	// seq it cared about, to detect duplication.
-	reqSeen map[key]int
-	repSeen map[key]int
+	reqSeen []int32
+	repSeen []int32
 	// seen suppresses duplicated NACKs: a repeat of (requester, seq) at a
 	// host within half the minimum request-timer spacing is a message-plane
 	// duplicate, not a backoff retransmission, and must not inflate the
@@ -96,13 +103,8 @@ type Engine struct {
 // duplicate through again (see protocol.DedupCache).
 const dedupCacheSize = 8192
 
-type key struct {
-	host graph.NodeID
-	seq  int
-}
-
 type reqState struct {
-	timer   *sim.Timer
+	timer   sim.Timer
 	backoff int
 	// parked marks a request whose owner is crashed: no timer runs until
 	// OnRecover resumes it (a permanently crashed owner would otherwise
@@ -121,16 +123,10 @@ func New(opt Options) *Engine {
 		opt.MaxBackoff = 8
 	}
 	return &Engine{
-		opt:        opt,
-		req:        make(map[key]*reqState),
-		rep:        make(map[key]*sim.Timer),
-		lastRepair: make(map[key]float64),
-		lastFlood:  make(map[int]float64),
-		reqScale:   make(map[graph.NodeID]float64),
-		repScale:   make(map[graph.NodeID]float64),
-		reqSeen:    make(map[key]int),
-		repSeen:    make(map[key]int),
-		seen:       protocol.NewDedupCache(dedupCacheSize),
+		opt:      opt,
+		reqScale: make(map[graph.NodeID]float64),
+		repScale: make(map[graph.NodeID]float64),
+		seen:     protocol.NewDedupCache(dedupCacheSize),
 	}
 }
 
@@ -149,20 +145,39 @@ func (e *Engine) Attach(s *protocol.Session) {
 		}
 	}
 	e.diameter = 2 * deep
+	// Size the dense per-(host,seq) state now that both bounds are known.
+	e.packets = s.Config().Packets
+	cells := s.Topo.NumNodes() * e.packets
+	e.req = make([]*reqState, cells)
+	e.rep = make([]sim.Timer, cells)
+	e.reqSeen = make([]int32, cells)
+	e.repSeen = make([]int32, cells)
+	e.lastRepair = make([]float64, cells)
+	for i := range e.lastRepair {
+		e.lastRepair[i] = math.NaN()
+	}
+	e.lastFlood = make([]float64, e.packets)
+	for i := range e.lastFlood {
+		e.lastFlood[i] = math.NaN()
+	}
 }
+
+// idx maps a validated (host, seq) pair onto the dense state index.
+func (e *Engine) idx(h graph.NodeID, seq int) int { return int(h)*e.packets + seq }
 
 // OnDetect implements protocol.Engine: arm the initial request timer.
 // Monotonic guard: a packet the client already holds never (re-)enters the
 // request machine, whatever duplicated or reordered signal suggested it.
 func (e *Engine) OnDetect(c graph.NodeID, seq int) {
-	if _, dup := e.req[key{c, seq}]; dup {
+	if e.req[e.idx(c, seq)] != nil {
 		return
 	}
 	if !e.s.Missing(c, seq) {
 		return
 	}
 	rs := &reqState{}
-	e.req[key{c, seq}] = rs
+	e.req[e.idx(c, seq)] = rs
+	e.nreq++
 	e.armRequest(c, seq, rs)
 }
 
@@ -221,12 +236,13 @@ func (e *Engine) armRequest(c graph.NodeID, seq int, rs *reqState) {
 // fireRequest multicasts the NACK and re-arms with backoff, so a lost
 // repair (or lost NACK) eventually triggers another round.
 func (e *Engine) fireRequest(c graph.NodeID, seq int, rs *reqState) {
-	k := key{c, seq}
-	if e.req[k] != rs || rs.parked {
+	i := e.idx(c, seq)
+	if e.req[i] != rs || rs.parked {
 		return
 	}
 	if !e.s.Missing(c, seq) {
-		delete(e.req, k)
+		e.req[i] = nil
+		e.nreq--
 		return
 	}
 	e.s.Net.FloodTree(sim.Packet{
@@ -251,22 +267,23 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	case sim.Repair:
 		// Repair suppression: cancel our own pending repair for this seq
 		// and open the ignore window for stale NACKs.
-		k := key{host, pkt.Seq}
-		e.lastRepair[k] = e.s.Eng.Now()
-		e.repSeen[k]++
-		if t := e.rep[k]; t != nil {
+		i := e.idx(host, pkt.Seq)
+		e.lastRepair[i] = e.s.Eng.Now()
+		e.repSeen[i]++
+		if t := e.rep[i]; t.Valid() {
 			t.Stop()
-			delete(e.rep, k)
+			e.rep[i] = sim.Timer{}
 			// We were about to repair and someone beat us: if this is
 			// the 2nd+ repair we see, the repair window is too tight.
-			e.adapt(e.repScale, host, e.repSeen[k]-1)
+			e.adapt(e.repScale, host, int(e.repSeen[i])-1)
 		}
 		// If we were a requester, the session has marked us recovered;
 		// drop the request state and adapt on observed NACK duplication.
-		if rs := e.req[k]; rs != nil && !e.s.Missing(host, pkt.Seq) {
+		if rs := e.req[i]; rs != nil && !e.s.Missing(host, pkt.Seq) {
 			rs.timer.Stop()
-			delete(e.req, k)
-			e.adapt(e.reqScale, host, e.reqSeen[k]-1)
+			e.req[i] = nil
+			e.nreq--
+			e.adapt(e.reqScale, host, int(e.reqSeen[i])-1)
 		}
 	}
 }
@@ -288,12 +305,12 @@ func (e *Engine) onNACK(host graph.NodeID, seq int, requester graph.NodeID) {
 	if e.seen.Seen(host, requester, seq, e.s.Eng.Now(), 0.5*e.opt.C1*d0) {
 		return
 	}
-	k := key{host, seq}
-	e.reqSeen[k]++
+	i := e.idx(host, seq)
+	e.reqSeen[i]++
 	if e.s.Has(host, seq) {
 		// Candidate repairer: arm a repair-suppression timer unless one
 		// is already pending for this seq.
-		if _, pending := e.rep[k]; pending {
+		if e.rep[i].Valid() {
 			return
 		}
 		d := e.s.Routes.OneWayDelay(host, requester)
@@ -302,17 +319,17 @@ func (e *Engine) onNACK(host graph.NodeID, seq int, requester graph.NodeID) {
 		}
 		// Ignore window: a recent repair makes this NACK stale.
 		if e.opt.IgnoreFactor > 0 {
-			if at, ok := e.lastRepair[k]; ok && e.s.Eng.Now()-at < e.opt.IgnoreFactor*d {
+			if at := e.lastRepair[i]; !math.IsNaN(at) && e.s.Eng.Now()-at < e.opt.IgnoreFactor*d {
 				return
 			}
 		}
 		delay := (e.opt.D1 + e.opt.D2*e.s.Rand.Float64()) * d * e.scaleOf(e.repScale, host)
-		e.rep[k] = e.s.Eng.NewTimer(delay, func() { e.fireRepair(host, seq) })
+		e.rep[i] = e.s.Eng.NewTimer(delay, func() { e.fireRepair(host, seq) })
 		return
 	}
 	// Request suppression: we miss it too and someone already asked —
 	// back off our own request and wait for the shared repair.
-	if rs := e.req[k]; rs != nil && rs.timer.Stop() {
+	if rs := e.req[i]; rs != nil && rs.timer.Stop() {
 		if rs.backoff < e.opt.MaxBackoff {
 			rs.backoff++
 		}
@@ -322,11 +339,11 @@ func (e *Engine) onNACK(host graph.NodeID, seq int, requester graph.NodeID) {
 
 // fireRepair multicasts the repair to the whole group.
 func (e *Engine) fireRepair(host graph.NodeID, seq int) {
-	k := key{host, seq}
-	if e.rep[k] == nil {
+	i := e.idx(host, seq)
+	if !e.rep[i].Valid() {
 		return
 	}
-	delete(e.rep, k)
+	e.rep[i] = sim.Timer{}
 	if !e.s.Has(host, seq) {
 		return // defensive: cannot repair what we do not hold
 	}
@@ -337,71 +354,54 @@ func (e *Engine) fireRepair(host graph.NodeID, seq int) {
 		return
 	}
 	if e.opt.GlobalSuppression {
-		if at, ok := e.lastFlood[seq]; ok && e.s.Eng.Now()-at < e.diameter {
+		if at := e.lastFlood[seq]; !math.IsNaN(at) && e.s.Eng.Now()-at < e.diameter {
 			return // idealised model: one flood per packet per window
 		}
 		e.lastFlood[seq] = e.s.Eng.Now()
 	}
-	e.lastRepair[k] = e.s.Eng.Now()
+	e.lastRepair[i] = e.s.Eng.Now()
 	e.s.Net.FloodTree(sim.Packet{Kind: sim.Repair, Seq: seq, From: host})
 }
 
 // PendingRequests reports in-flight request states (testing).
-func (e *Engine) PendingRequests() int { return len(e.req) }
+func (e *Engine) PendingRequests() int { return e.nreq }
 
 // OnCrash implements protocol.FaultAware: park the crashed member's request
 // timers and drop its armed repair timers (it can no longer serve anyone).
 func (e *Engine) OnCrash(h graph.NodeID) {
-	for _, k := range e.keysFor(h) {
-		if rs := e.req[k]; rs != nil {
+	for seq := 0; seq < e.packets; seq++ {
+		i := e.idx(h, seq)
+		if rs := e.req[i]; rs != nil {
 			rs.timer.Stop()
 			rs.parked = true
 		}
-		if t := e.rep[k]; t != nil {
+		if t := e.rep[i]; t.Valid() {
 			t.Stop()
-			delete(e.rep, k)
+			e.rep[i] = sim.Timer{}
 		}
 	}
 }
 
 // OnRecover implements protocol.FaultAware: resume the member's parked
-// requests from a fresh backoff.
+// requests from a fresh backoff. The dense scan runs in ascending sequence
+// order — resumption draws suppression timers from the shared rng stream,
+// so the order must be deterministic.
 func (e *Engine) OnRecover(h graph.NodeID) {
-	for _, k := range e.keysFor(h) {
-		rs := e.req[k]
+	for seq := 0; seq < e.packets; seq++ {
+		i := e.idx(h, seq)
+		rs := e.req[i]
 		if rs == nil || !rs.parked {
 			continue
 		}
 		rs.parked = false
-		if !e.s.Missing(k.host, k.seq) {
-			delete(e.req, k)
+		if !e.s.Missing(h, seq) {
+			e.req[i] = nil
+			e.nreq--
 			continue
 		}
 		rs.backoff = 0
-		e.armRequest(k.host, k.seq, rs)
+		e.armRequest(h, seq, rs)
 	}
-}
-
-// keysFor returns h's request/repair keys in sequence order — resumption
-// draws suppression timers from the shared rng stream, so the order must be
-// deterministic.
-func (e *Engine) keysFor(h graph.NodeID) []key {
-	seen := make(map[int]bool)
-	var ks []key
-	for k := range e.req {
-		if k.host == h && !seen[k.seq] {
-			seen[k.seq] = true
-			ks = append(ks, k)
-		}
-	}
-	for k := range e.rep {
-		if k.host == h && !seen[k.seq] {
-			seen[k.seq] = true
-			ks = append(ks, k)
-		}
-	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
-	return ks
 }
 
 // DedupCaches implements protocol.DedupAudited.

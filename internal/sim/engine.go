@@ -14,10 +14,23 @@
 // caller, and simultaneous events fire in schedule order (a monotone
 // sequence number breaks time ties), so a run is a pure function of its
 // seed and configuration.
+//
+// The event core is allocation-free in steady state: the calendar is a
+// hand-rolled 4-ary min-heap over typed event structs (no container/heap
+// interface boxing), hop-by-hop forwarding uses pooled walker events
+// instead of per-hop closures, and cancellable timers live in recycled
+// engine-owned slots. The (at, seq) total order — and with it the firing
+// order of every fixed-seed run — is identical to the original binary-heap
+// implementation, because the comparator induces a strict total order that
+// no heap arity can perturb.
+//
+// The calendar entries themselves are pointer-free: closure, callee, and
+// walker payloads park in recycled side arenas and events carry int32 slot
+// references. Sifting events through the heap is then a plain memmove — no
+// write barriers — and the garbage collector never scans the calendar.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -26,35 +39,102 @@ import (
 type Engine struct {
 	now float64
 	seq uint64
-	pq  eventHeap
+	pq  []event
 	// processed counts executed events, for loop detection in tests and
-	// run-away guards in the harness.
+	// run-away guards in the harness. Run derives its per-call count from
+	// this same counter, so the two can never drift.
 	processed uint64
+
+	// freeW is the walker free list: hop-walker events recycle through it
+	// instead of churning the garbage collector (see walker.go).
+	freeW *walker
+
+	// timers is the pooled timer arena; timerFree lists recyclable slots.
+	// A slot is released when its calendar event pops (fired or stopped),
+	// and generation counters keep stale Timer handles inert.
+	timers    []timerSlot
+	timerFree []int32
+
+	// Payload arenas: the pointer-bearing halves of scheduled events, so
+	// the calendar array itself stays pointer-free. A slot lives exactly
+	// from push to pop.
+	fns   arena[func()]
+	calls arena[Callee]
+	walks arena[*walker]
 }
 
-type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+// arena is a recycled slot store: put parks a value and returns its slot,
+// take retrieves it and frees the slot. Steady state allocates nothing.
+type arena[T any] struct {
+	slots []T
+	free  []int32
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (a *arena[T]) put(v T) int32 {
+	if n := len(a.free); n > 0 {
+		i := a.free[n-1]
+		a.free = a.free[:n-1]
+		a.slots[i] = v
+		return i
 	}
-	return h[i].seq < h[j].seq
+	a.slots = append(a.slots, v)
+	return int32(len(a.slots) - 1)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (a *arena[T]) take(i int32) T {
+	v := a.slots[i]
+	var zero T
+	a.slots[i] = zero
+	a.free = append(a.free, i)
+	return v
+}
+
+// evKind tags the event union dispatched by Step.
+type evKind uint8
+
+const (
+	// evFunc runs an arbitrary closure — the general-purpose event.
+	evFunc evKind = iota
+	// evCall invokes a Callee with (op, a, b) — a closure-free callback
+	// for hot paths that would otherwise allocate one closure per packet.
+	evCall
+	// evTimer fires the pooled timer in slot a if generation b still
+	// matches (see Timer).
+	evTimer
+	// evWalker advances a pooled hop walker (see walker.go).
+	evWalker
+)
+
+// event is one calendar entry: ordering key plus a small tagged union.
+// The struct is deliberately pointer-free (32 bytes): payloads that carry
+// pointers live in the engine's arenas, referenced by ref, so heap sifts
+// are barrier-free memmoves and the calendar is invisible to the garbage
+// collector. Only the fields selected by kind are meaningful.
+type event struct {
+	at   float64
+	seq  uint64
+	a, b int32 // evCall arguments; evTimer slot and generation
+	ref  int32 // arena slot for evFunc / evCall / evWalker payloads
+	kind evKind
+	op   uint8 // evCall opcode
+}
+
+// Callee receives typed callback events scheduled with ScheduleCall: a
+// single dispatch method with an opcode and two small integer arguments —
+// enough for (client index, sequence) style callbacks without allocating a
+// closure per event.
+type Callee interface {
+	OnSimEvent(op, a, b int)
+}
+
+// evLess is the strict total order (at, then schedule seq) shared by every
+// heap operation. seq is unique, so ties cannot exist and firing order is
+// independent of heap shape.
+func evLess(x, y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
 }
 
 // NewEngine returns an engine at time 0 with an empty calendar.
@@ -67,50 +147,126 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of scheduled, not-yet-fired events.
-func (e *Engine) Pending() int { return e.pq.Len() }
+func (e *Engine) Pending() int { return len(e.pq) }
 
-// Schedule runs fn at absolute time at. Scheduling in the past or at a
-// non-finite time panics: it is always a protocol bug.
-func (e *Engine) Schedule(at float64, fn func()) {
+// push validates the timestamp, stamps the tie-break sequence, and sifts
+// the event into the 4-ary heap. Steady state (backing array at capacity)
+// allocates nothing.
+func (e *Engine) push(at float64, ev event) {
 	if at < e.now || math.IsNaN(at) || math.IsInf(at, 0) {
 		panic(fmt.Sprintf("sim: schedule at %v with now %v", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{at: at, seq: e.seq, fn: fn})
+	ev.at = at
+	ev.seq = e.seq
+	e.pq = append(e.pq, ev)
+	// Sift up: move the hole toward the root until the parent fits.
+	i := len(e.pq) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !evLess(&ev, &e.pq[p]) {
+			break
+		}
+		e.pq[i] = e.pq[p]
+		i = p
+	}
+	e.pq[i] = ev
+}
+
+// popMin removes and returns the earliest event. Events are pointer-free,
+// so the vacated tail slot needs no zeroing — it cannot retain anything.
+func (e *Engine) popMin() event {
+	top := e.pq[0]
+	n := len(e.pq) - 1
+	last := e.pq[n]
+	e.pq = e.pq[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift down: move the hole toward the leaves, pulling up the smallest
+	// of up to four children, until last fits.
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for k := c + 1; k < end; k++ {
+			if evLess(&e.pq[k], &e.pq[m]) {
+				m = k
+			}
+		}
+		if !evLess(&e.pq[m], &last) {
+			break
+		}
+		e.pq[i] = e.pq[m]
+		i = m
+	}
+	e.pq[i] = last
+	return top
+}
+
+// Schedule runs fn at absolute time at. Scheduling in the past or at a
+// non-finite time panics: it is always a protocol bug.
+func (e *Engine) Schedule(at float64, fn func()) {
+	e.push(at, event{kind: evFunc, ref: e.fns.put(fn)})
 }
 
 // After runs fn d milliseconds from now.
 func (e *Engine) After(d float64, fn func()) { e.Schedule(e.now+d, fn) }
 
+// ScheduleCall runs c.OnSimEvent(op, a, b) at absolute time at, without
+// allocating: the opcode and arguments ride inside the typed event. op must
+// fit in a uint8 and a, b in int32 — ample for the client-index and
+// sequence-number callbacks the protocol layer schedules per packet.
+func (e *Engine) ScheduleCall(at float64, c Callee, op, a, b int) {
+	e.push(at, event{kind: evCall, ref: e.calls.put(c),
+		op: uint8(op), a: int32(a), b: int32(b)})
+}
+
 // Step executes the next event, returning false when the calendar is empty.
 func (e *Engine) Step() bool {
-	if e.pq.Len() == 0 {
+	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.popMin()
 	e.now = ev.at
 	e.processed++
-	ev.fn()
+	switch ev.kind {
+	case evFunc:
+		e.fns.take(ev.ref)()
+	case evCall:
+		e.calls.take(ev.ref).OnSimEvent(int(ev.op), int(ev.a), int(ev.b))
+	case evTimer:
+		e.fireTimer(ev.a, uint32(ev.b))
+	case evWalker:
+		e.walks.take(ev.ref).run()
+	}
 	return true
 }
 
 // Run executes events until the calendar is empty or maxEvents have fired
-// (0 means unlimited). It returns the number of events executed.
+// (0 means unlimited). It returns the number of events executed, counted on
+// the same processed counter Processed reports.
 func (e *Engine) Run(maxEvents uint64) uint64 {
-	var n uint64
+	start := e.processed
 	for e.Step() {
-		n++
-		if maxEvents > 0 && n >= maxEvents {
+		if maxEvents > 0 && e.processed-start >= maxEvents {
 			break
 		}
 	}
-	return n
+	return e.processed - start
 }
 
 // RunUntil executes events with timestamps ≤ t and then advances the clock
 // to t (if the calendar ran dry earlier).
 func (e *Engine) RunUntil(t float64) {
-	for e.pq.Len() > 0 && e.pq[0].at <= t {
+	for len(e.pq) > 0 && e.pq[0].at <= t {
 		e.Step()
 	}
 	if e.now < t {
@@ -118,34 +274,101 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
-// Timer is a cancellable scheduled callback.
+// Timer slot states. A slot is freed (pushed on timerFree) when its
+// calendar event pops; until the slot is re-armed, stale handles still read
+// their fired/stopped outcome; after re-arming, the bumped generation makes
+// them fully inert.
+const (
+	slotArmed uint8 = iota + 1
+	slotStopped
+	slotFired
+)
+
+// timerSlot is the engine-owned, recycled representation of one timer.
+type timerSlot struct {
+	gen   uint32
+	state uint8
+	fn    func()
+}
+
+// Timer is a cancellable scheduled callback: a generation-stamped handle
+// into the engine's pooled timer arena. The zero Timer is valid and inert —
+// Stop and Fired return false. Handles are values; copy them freely.
 type Timer struct {
-	stopped bool
-	fired   bool
+	e   *Engine
+	idx int32
+	gen uint32
 }
 
 // NewTimer schedules fn after d ms and returns a handle that can Stop it.
-func (e *Engine) NewTimer(d float64, fn func()) *Timer {
-	t := &Timer{}
-	e.After(d, func() {
-		if t.stopped {
-			return
-		}
-		t.fired = true
-		fn()
-	})
-	return t
+// The timer's state lives in a recycled engine slot, so arming a timer
+// allocates nothing beyond the caller's own callback closure.
+func (e *Engine) NewTimer(d float64, fn func()) Timer {
+	var idx int32
+	if n := len(e.timerFree); n > 0 {
+		idx = e.timerFree[n-1]
+		e.timerFree = e.timerFree[:n-1]
+	} else {
+		e.timers = append(e.timers, timerSlot{})
+		idx = int32(len(e.timers) - 1)
+	}
+	sl := &e.timers[idx]
+	sl.gen++
+	sl.state = slotArmed
+	sl.fn = fn
+	e.push(e.now+d, event{kind: evTimer, a: idx, b: int32(sl.gen)})
+	return Timer{e: e, idx: idx, gen: sl.gen}
 }
 
+// fireTimer pops one timer event: run the callback if the slot is still
+// armed under the event's generation, then recycle the slot. A mismatched
+// generation means the slot was stopped and already re-armed for a newer
+// timer — the stale event is a no-op.
+func (e *Engine) fireTimer(idx int32, gen uint32) {
+	sl := &e.timers[idx]
+	if sl.gen != gen {
+		return
+	}
+	fn := sl.fn
+	fired := sl.state == slotArmed
+	if fired {
+		sl.state = slotFired
+	}
+	sl.fn = nil
+	e.timerFree = append(e.timerFree, idx)
+	if fired {
+		fn()
+	}
+}
+
+// Valid reports whether the handle refers to a timer at all (false for the
+// zero Timer) — callers that park entries with a placeholder handle use it
+// to tell "armed once" from "never armed".
+func (t Timer) Valid() bool { return t.e != nil }
+
 // Stop cancels the timer if it has not fired; it reports whether the call
-// prevented the callback.
-func (t *Timer) Stop() bool {
-	if t.fired || t.stopped {
+// prevented the callback. Stopping a stale handle (one whose slot has been
+// recycled for a newer timer) is a safe no-op.
+func (t Timer) Stop() bool {
+	if t.e == nil || int(t.idx) >= len(t.e.timers) {
 		return false
 	}
-	t.stopped = true
+	sl := &t.e.timers[t.idx]
+	if sl.gen != t.gen || sl.state != slotArmed {
+		return false
+	}
+	sl.state = slotStopped
+	sl.fn = nil
 	return true
 }
 
-// Fired reports whether the callback ran.
-func (t *Timer) Fired() bool { return t.fired }
+// Fired reports whether the callback ran. Once the slot is recycled for a
+// newer timer the handle reads false; engines only consult Fired between
+// arming and the next re-arm, where the answer is exact.
+func (t Timer) Fired() bool {
+	if t.e == nil || int(t.idx) >= len(t.e.timers) {
+		return false
+	}
+	sl := &t.e.timers[t.idx]
+	return sl.gen == t.gen && sl.state == slotFired
+}

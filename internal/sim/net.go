@@ -128,6 +128,16 @@ type Net struct {
 	mut *fault.Mutator
 	// treeAdj is adjacency restricted to tree links, for flood traversal.
 	treeAdj [][]graph.Half
+	// floodStack is reused scratch for the precomputed-path flood walks
+	// (floodFrom, subtreeFlood). Safe to share: those walks only schedule
+	// deliveries, so no handler — and no nested flood — runs inside them.
+	floodStack []floodFrame
+}
+
+// floodFrame is one pending node of a precomputed-path flood traversal.
+type floodFrame struct {
+	node, prev graph.NodeID
+	acc        float64
 }
 
 // Garbage is the payload substituted when the fault mutator corrupts a
@@ -202,14 +212,18 @@ func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
 	n.deliverAt(node, at, pkt)
 }
 
-// deliverAt is the mutation-free delivery: crash check, then schedule.
+// deliverAt is the mutation-free delivery: crash check, then schedule a
+// pooled wDeliver walker (no per-delivery closure).
 func (n *Net) deliverAt(node graph.NodeID, at float64, pkt Packet) {
 	if n.Fault != nil && !n.Fault.HostUpAt(node, at) {
 		return
 	}
-	if h := n.handlers[node]; h != nil {
-		n.Eng.Schedule(at, func() { h(pkt) })
+	if n.handlers[node] == nil {
+		return
 	}
+	w := n.Eng.getWalker()
+	w.op, w.n, w.pkt, w.node = wDeliver, n, pkt, node
+	n.Eng.scheduleWalker(at, w)
 }
 
 // deliverMutated samples one delivery's adversarial fate: the original copy
@@ -373,15 +387,11 @@ func (n *Net) FloodTree(pkt Packet) {
 // floodFrom walks tree links outward from cur (skipping the link back to
 // prev), delivering to hosts along the way.
 func (n *Net) floodFrom(cur, prev graph.NodeID, acc float64, pkt Packet) {
-	type fr struct {
-		cur, prev graph.NodeID
-		acc       float64
-	}
-	stack := []fr{{cur, prev, acc}}
+	stack := append(n.floodStack[:0], floodFrame{cur, prev, acc})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, h := range n.treeAdj[f.cur] {
+		for _, h := range n.treeAdj[f.node] {
 			if h.Peer == f.prev {
 				continue
 			}
@@ -393,9 +403,10 @@ func (n *Net) floodFrom(cur, prev graph.NodeID, acc float64, pkt Packet) {
 			if n.handlers[h.Peer] != nil {
 				n.deliver(h.Peer, n.Eng.Now()+d, pkt)
 			}
-			stack = append(stack, fr{h.Peer, f.cur, d})
+			stack = append(stack, floodFrame{h.Peer, f.node, d})
 		}
 	}
+	n.floodStack = stack[:0]
 }
 
 // MulticastSubtree sends pkt from a host up the tree to the router meet and
@@ -441,11 +452,7 @@ func (n *Net) MulticastSubtree(meet graph.NodeID, pkt Packet) {
 
 // subtreeFlood delivers pkt to every host strictly below root.
 func (n *Net) subtreeFlood(root graph.NodeID, acc float64, pkt Packet) {
-	type fr struct {
-		node graph.NodeID
-		acc  float64
-	}
-	stack := []fr{{root, acc}}
+	stack := append(n.floodStack[:0], floodFrame{node: root, acc: acc})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -459,9 +466,10 @@ func (n *Net) subtreeFlood(root graph.NodeID, acc float64, pkt Packet) {
 			if n.handlers[c] != nil {
 				n.deliver(c, n.Eng.Now()+d, pkt)
 			}
-			stack = append(stack, fr{c, d})
+			stack = append(stack, floodFrame{node: c, acc: d})
 		}
 	}
+	n.floodStack = stack[:0]
 }
 
 // MulticastDescend sends pkt from pkt.From (which must be a tree ancestor

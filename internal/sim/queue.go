@@ -25,41 +25,77 @@ type QueueModel struct {
 	// direction, ms.
 	PacketTime float64
 
-	busyUntil map[qkey]float64
+	// busyUntil is dense per-direction server state, indexed by
+	// qindex(link, fromA) = 2·link + direction. A map was measurably
+	// slower and allocated on growth in the middle of runs.
+	busyUntil []float64
 }
 
-type qkey struct {
-	link  graph.EdgeID
-	fromA bool
+// qindex maps a (link, direction) pair onto the dense busyUntil index.
+func qindex(link graph.EdgeID, fromA bool) int {
+	i := int(link) << 1
+	if !fromA {
+		i |= 1
+	}
+	return i
 }
 
 // NewQueueModel returns a queue model with the given per-packet service
-// time.
+// time; the per-direction state grows on demand. Prefer NewQueueModelSized
+// when the edge count is known up front.
 func NewQueueModel(packetTime float64) *QueueModel {
 	if packetTime <= 0 {
 		panic(fmt.Sprintf("sim: non-positive packet time %v", packetTime))
 	}
-	return &QueueModel{PacketTime: packetTime, busyUntil: make(map[qkey]float64)}
+	return &QueueModel{PacketTime: packetTime}
+}
+
+// NewQueueModelSized returns a queue model pre-sized for a graph with
+// edges undirected links, so no growth ever happens mid-run. The edge
+// count must be non-negative.
+func NewQueueModelSized(packetTime float64, edges int) *QueueModel {
+	if edges < 0 {
+		panic(fmt.Sprintf("sim: negative edge count %d", edges))
+	}
+	q := NewQueueModel(packetTime)
+	q.busyUntil = make([]float64, 2*edges)
+	return q
+}
+
+// slot returns the busy-until cell for a link direction, growing the dense
+// array if the model was built without a size.
+func (q *QueueModel) slot(link graph.EdgeID, fromA bool) *float64 {
+	i := qindex(link, fromA)
+	if i >= len(q.busyUntil) {
+		grown := make([]float64, 2*int(link)+2)
+		copy(grown, q.busyUntil)
+		q.busyUntil = grown
+	}
+	return &q.busyUntil[i]
 }
 
 // departAfter reserves the link direction starting no earlier than `at` and
 // returns the transmission-complete time. Must be called in nondecreasing
 // event-time order per direction, which the event engine guarantees.
 func (q *QueueModel) departAfter(link graph.EdgeID, fromA bool, at float64) float64 {
-	k := qkey{link, fromA}
+	s := q.slot(link, fromA)
 	start := at
-	if b := q.busyUntil[k]; b > start {
-		start = b
+	if *s > start {
+		start = *s
 	}
 	dep := start + q.PacketTime
-	q.busyUntil[k] = dep
+	*s = dep
 	return dep
 }
 
 // Backlog returns the current queueing backlog (ms of work beyond `now`)
 // on a link direction — visibility for tests and congestion metrics.
 func (q *QueueModel) Backlog(link graph.EdgeID, fromA bool, now float64) float64 {
-	b := q.busyUntil[qkey{link, fromA}] - now
+	i := qindex(link, fromA)
+	if i >= len(q.busyUntil) {
+		return 0
+	}
+	b := q.busyUntil[i] - now
 	if b < 0 {
 		return 0
 	}
@@ -81,115 +117,142 @@ func (n *Net) sendHop(link graph.EdgeID, from graph.NodeID, at float64, pkt Pack
 	return dep + n.linkDelay(link), true
 }
 
-// unicastQueued forwards pkt hop by hop through real events.
+// unicastQueued forwards pkt hop by hop through real events: one pooled
+// walker advances along the route, reused for every hop.
 func (n *Net) unicastQueued(dest graph.NodeID, pkt Packet) {
-	var step func(cur graph.NodeID)
-	step = func(cur graph.NodeID) {
-		if cur == dest {
-			n.upcall(dest, pkt)
-			return
-		}
-		next, link := n.Routes.NextHop(cur, dest)
-		if next == graph.None {
-			panic(fmt.Sprintf("sim: no route %d→%d", cur, dest))
-		}
-		arrive, ok := n.sendHop(link, cur, n.Eng.Now(), pkt)
-		if !ok {
-			return
-		}
-		n.Eng.Schedule(arrive, func() { step(next) })
+	w := n.Eng.getWalker()
+	w.op, w.n, w.pkt, w.node, w.dest = wUnicastStep, n, pkt, pkt.From, dest
+	n.unicastStep(w)
+}
+
+// unicastStep runs one routed hop of a queued unicast (the injection call
+// and every popped wUnicastStep event land here).
+func (n *Net) unicastStep(w *walker) {
+	cur, dest := w.node, w.dest
+	if cur == dest {
+		pkt := w.pkt
+		n.Eng.putWalker(w)
+		n.upcall(dest, pkt)
+		return
 	}
-	step(pkt.From)
+	next, link := n.Routes.NextHop(cur, dest)
+	if next == graph.None {
+		panic(fmt.Sprintf("sim: no route %d→%d", cur, dest))
+	}
+	arrive, ok := n.sendHop(link, cur, n.Eng.Now(), w.pkt)
+	if !ok {
+		n.Eng.putWalker(w)
+		return
+	}
+	w.node = next
+	n.Eng.scheduleWalker(arrive, w)
 }
 
 // floodQueued floods pkt over tree links outward from start (skipping
 // fromLink), hop by hop through real events, delivering to hosts en route.
 func (n *Net) floodQueued(start graph.NodeID, fromLink graph.EdgeID, pkt Packet) {
-	var visit func(node graph.NodeID, via graph.EdgeID)
-	visit = func(node graph.NodeID, via graph.EdgeID) {
-		if node != start {
-			n.upcall(node, pkt)
+	n.floodFanOut(start, fromLink, pkt)
+}
+
+// floodFanOut transmits pkt over every tree link at node except via,
+// scheduling one wFloodVisit walker per surviving transmission.
+func (n *Net) floodFanOut(node graph.NodeID, via graph.EdgeID, pkt Packet) {
+	for _, half := range n.treeAdj[node] {
+		if half.Edge == via {
+			continue
 		}
-		for _, half := range n.treeAdj[node] {
-			if half.Edge == via {
-				continue
-			}
-			peer, link := half.Peer, half.Edge
-			arrive, ok := n.sendHop(link, node, n.Eng.Now(), pkt)
-			if !ok {
-				continue
-			}
-			n.Eng.Schedule(arrive, func() { visit(peer, link) })
+		arrive, ok := n.sendHop(half.Edge, node, n.Eng.Now(), pkt)
+		if !ok {
+			continue
 		}
+		w := n.Eng.getWalker()
+		w.op, w.n, w.pkt, w.node, w.via = wFloodVisit, n, pkt, half.Peer, half.Edge
+		n.Eng.scheduleWalker(arrive, w)
 	}
-	visit(start, fromLink)
 }
 
 // subtreeFloodQueued floods pkt strictly downward from root through real
-// events, starting at the given time offset already elapsed.
+// events.
 func (n *Net) subtreeFloodQueued(root graph.NodeID, pkt Packet) {
-	var visit func(node graph.NodeID)
-	visit = func(node graph.NodeID) {
-		if node != root {
-			n.upcall(node, pkt)
+	n.subtreeFanOut(root, pkt)
+}
+
+// subtreeFanOut transmits pkt to every child of node, scheduling one
+// wSubtreeVisit walker per surviving transmission.
+func (n *Net) subtreeFanOut(node graph.NodeID, pkt Packet) {
+	for i, c := range n.Tree.Children[node] {
+		link := n.Tree.ChildLink[node][i]
+		arrive, ok := n.sendHop(link, node, n.Eng.Now(), pkt)
+		if !ok {
+			continue
 		}
-		for i, c := range n.Tree.Children[node] {
-			link := n.Tree.ChildLink[node][i]
-			child := c
-			arrive, ok := n.sendHop(link, node, n.Eng.Now(), pkt)
-			if !ok {
-				continue
-			}
-			n.Eng.Schedule(arrive, func() { visit(child) })
-		}
+		w := n.Eng.getWalker()
+		w.op, w.n, w.pkt, w.node = wSubtreeVisit, n, pkt, c
+		n.Eng.scheduleWalker(arrive, w)
 	}
-	visit(root)
 }
 
 // ascendQueued walks pkt up the tree from pkt.From to meet through real
-// events, then calls done at the arrival event (or never, on loss).
+// events, then calls done at the arrival event (or never, on loss). One
+// pooled walker is reused for every hop.
 func (n *Net) ascendQueued(meet graph.NodeID, pkt Packet, done func()) {
-	var step func(cur graph.NodeID)
-	step = func(cur graph.NodeID) {
-		if cur == meet {
-			done()
-			return
-		}
-		link := n.Tree.ParentLink[cur]
-		parent := n.Tree.Parent[cur]
-		arrive, ok := n.sendHop(link, cur, n.Eng.Now(), pkt)
-		if !ok {
-			return
-		}
-		n.Eng.Schedule(arrive, func() { step(parent) })
+	w := n.Eng.getWalker()
+	w.op, w.n, w.pkt, w.node, w.dest, w.done = wAscendStep, n, pkt, pkt.From, meet, done
+	n.ascendStep(w)
+}
+
+// ascendStep runs one parent hop of a queued ascent.
+func (n *Net) ascendStep(w *walker) {
+	cur := w.node
+	if cur == w.dest {
+		done := w.done
+		n.Eng.putWalker(w)
+		done()
+		return
 	}
-	step(pkt.From)
+	link := n.Tree.ParentLink[cur]
+	parent := n.Tree.Parent[cur]
+	arrive, ok := n.sendHop(link, cur, n.Eng.Now(), w.pkt)
+	if !ok {
+		n.Eng.putWalker(w)
+		return
+	}
+	w.node = parent
+	n.Eng.scheduleWalker(arrive, w)
 }
 
 // descendQueued walks pkt down the tree from pkt.From to sub through real
-// events, then calls done at arrival.
+// events, then calls done at arrival. The top-down path lives in the
+// walker's recycled scratch slice.
 func (n *Net) descendQueued(sub graph.NodeID, pkt Packet, done func()) {
-	// Collect the top-down path.
-	var path []graph.NodeID
+	w := n.Eng.getWalker()
+	w.op, w.n, w.pkt, w.done = wDescendStep, n, pkt, done
+	// Collect the path bottom-up; descendStep walks it from the end.
+	w.path = w.path[:0]
 	for cur := sub; cur != pkt.From; cur = n.Tree.Parent[cur] {
-		path = append(path, cur)
+		w.path = append(w.path, cur)
 	}
-	// path is bottom-up; walk it from the end.
-	idx := len(path) - 1
-	var step func(at graph.NodeID)
-	step = func(at graph.NodeID) {
-		if idx < 0 {
-			done()
-			return
-		}
-		next := path[idx]
-		idx--
-		link := n.Tree.ParentLink[next]
-		arrive, ok := n.sendHop(link, at, n.Eng.Now(), pkt)
-		if !ok {
-			return
-		}
-		n.Eng.Schedule(arrive, func() { step(next) })
+	w.idx = int32(len(w.path) - 1)
+	w.node = pkt.From
+	n.descendStep(w)
+}
+
+// descendStep runs one child hop of a queued descent.
+func (n *Net) descendStep(w *walker) {
+	if w.idx < 0 {
+		done := w.done
+		n.Eng.putWalker(w)
+		done()
+		return
 	}
-	step(pkt.From)
+	next := w.path[w.idx]
+	w.idx--
+	link := n.Tree.ParentLink[next]
+	arrive, ok := n.sendHop(link, w.node, n.Eng.Now(), w.pkt)
+	if !ok {
+		n.Eng.putWalker(w)
+		return
+	}
+	w.node = next
+	n.Eng.scheduleWalker(arrive, w)
 }
