@@ -32,7 +32,8 @@ bench-json:
 	$(GO) test -run xxx -bench . -benchmem -benchtime 1x -json ./... > BENCH_$$(date +%Y-%m-%d).json
 
 # Compare the two newest BENCH_*.json captures: fails when a tracked
-# benchmark (the Figure-5 macro benchmarks) regressed > 10% in ns/op.
+# benchmark (the Figure-5 macro benchmarks and the batch planner) regressed
+# > 10% in ns/op or allocs/op.
 bench-diff:
 	@files="$$(ls -t BENCH_*.json 2>/dev/null | head -2)"; \
 	set -- $$files; \
@@ -42,10 +43,12 @@ bench-diff:
 
 # Cheap CI perf gate: one iteration of the n=50 macro benchmarks plus the
 # allocation-budget tests, so a perf-hostile change fails fast without
-# burning CI minutes on the full sweep.
+# burning CI minutes on the full sweep. The n=1000 scaling cell also runs
+# the O(N²) scan baseline and cross-verifies the fast path against it.
 smoke-bench:
 	$(GO) test -run TestAllocs -count=1 ./internal/sim
 	$(GO) test -run xxx -bench 'BenchmarkFigure5/n=50$$' -benchmem -benchtime 1x .
+	$(GO) run ./cmd/rmsim -scaling -sizes 1000
 
 # CPU+heap profile of a representative run; inspect with `go tool pprof`.
 profile:

@@ -1,6 +1,6 @@
 // Command benchdiff compares two benchmark captures produced by
 // `make bench-json` (`go test -json -bench ...`) and fails when a tracked
-// benchmark regressed in ns/op by more than the threshold.
+// benchmark regressed in ns/op or allocs/op by more than the threshold.
 //
 // Usage:
 //
@@ -8,8 +8,12 @@
 //	benchdiff -threshold 0.10 -track '^BenchmarkFigure5/' OLD.json NEW.json
 //
 // Only benchmarks whose names match -track gate the exit status (the
-// default tracks the paper-figure macro benchmarks); everything else is
-// reported for information. Improvements never fail.
+// default tracks the paper-figure macro benchmarks and the batch planner);
+// everything else is reported for information. Improvements never fail.
+// Allocation gating additionally requires the absolute increase to be at
+// least two allocations (one can be measurement noise), so the planner's
+// zero-allocation steady state cannot decay silently while one-off jitter
+// never fails a build.
 package main
 
 import (
@@ -34,6 +38,9 @@ var benchLine = regexp.MustCompile(`^(Benchmark[^\s]+?)(-\d+)?\s+\d+\s+([0-9.]+)
 // event's Test field.
 var nsOnly = regexp.MustCompile(`^\s*\d+\t\s*([0-9.]+) ns/op`)
 
+// allocsPer matches the -benchmem allocation column on either line form.
+var allocsPer = regexp.MustCompile(`\s(\d+) allocs/op`)
+
 // testEvent is the subset of the `go test -json` event stream we read.
 type testEvent struct {
 	Action string `json:"Action"`
@@ -41,15 +48,23 @@ type testEvent struct {
 	Output string `json:"Output"`
 }
 
-// parse extracts benchmark name → ns/op from a capture file. A benchmark
+// result is one benchmark's captured metrics. Allocs is only meaningful
+// when HasAllocs is set (the capture ran with -benchmem).
+type result struct {
+	Ns        float64
+	Allocs    float64
+	HasAllocs bool
+}
+
+// parse extracts benchmark name → metrics from a capture file. A benchmark
 // appearing several times (e.g. -count > 1) keeps its last value.
-func parse(path string) (map[string]float64, error) {
+func parse(path string) (map[string]result, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	res := make(map[string]float64)
+	res := make(map[string]result)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -74,10 +89,15 @@ func parse(path string) (map[string]float64, error) {
 		if name == "" || val == "" {
 			continue
 		}
-		var ns float64
-		if _, err := fmt.Sscanf(val, "%g", &ns); err == nil {
-			res[name] = ns
+		var r result
+		if _, err := fmt.Sscanf(val, "%g", &r.Ns); err != nil {
+			continue
 		}
+		if m := allocsPer.FindStringSubmatch(ev.Output); m != nil {
+			fmt.Sscanf(m[1], "%g", &r.Allocs)
+			r.HasAllocs = true
+		}
+		res[name] = r
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -88,10 +108,20 @@ func parse(path string) (map[string]float64, error) {
 	return res, nil
 }
 
+// allocsRegressed applies the allocation gate: relative growth past the
+// threshold AND an absolute increase of at least two allocations, or any
+// departure from a previously zero-allocation benchmark.
+func allocsRegressed(old, new, threshold float64) bool {
+	if old == 0 {
+		return new >= 2
+	}
+	return (new-old)/old > threshold && new-old >= 2
+}
+
 func main() {
 	threshold := flag.Float64("threshold", 0.10,
-		"maximum tolerated ns/op regression on tracked benchmarks (fraction)")
-	track := flag.String("track", `^BenchmarkFigure5/`,
+		"maximum tolerated ns/op or allocs/op regression on tracked benchmarks (fraction)")
+	track := flag.String("track", `^BenchmarkFigure5/|^BenchmarkPlanAll`,
 		"regexp of benchmark names that gate the exit status")
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -103,47 +133,60 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: bad -track: %v\n", err)
 		os.Exit(2)
 	}
-	oldNs, err := parse(flag.Arg(0))
+	oldRes, err := parse(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	newNs, err := parse(flag.Arg(1))
+	newRes, err := parse(flag.Arg(1))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
 
-	names := make([]string, 0, len(newNs))
-	for name := range newNs {
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
 	failed := false
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\tstatus")
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tstatus")
 	for _, name := range names {
-		old, ok := oldNs[name]
+		nw := newRes[name]
+		newAllocs := "-"
+		if nw.HasAllocs {
+			newAllocs = fmt.Sprintf("%.0f", nw.Allocs)
+		}
+		old, ok := oldRes[name]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\tnew\n", name, newNs[name])
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\t%s\tnew\n", name, nw.Ns, newAllocs)
 			continue
 		}
-		delta := (newNs[name] - old) / old
-		status := "ok"
+		oldAllocs := "-"
+		if old.HasAllocs {
+			oldAllocs = fmt.Sprintf("%.0f", old.Allocs)
+		}
+		delta := (nw.Ns - old.Ns) / old.Ns
+		status := "untracked"
 		if tracked.MatchString(name) {
+			status = "ok"
 			if delta > *threshold {
 				status = "REGRESSION"
 				failed = true
 			}
-		} else {
-			status = "untracked"
+			if old.HasAllocs && nw.HasAllocs && allocsRegressed(old.Allocs, nw.Allocs, *threshold) {
+				status = "REGRESSION(allocs)"
+				failed = true
+			}
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\n", name, old, newNs[name], 100*delta, status)
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\t%s\n",
+			name, old.Ns, nw.Ns, 100*delta, oldAllocs, newAllocs, status)
 	}
-	for name := range oldNs {
-		if _, ok := newNs[name]; !ok {
-			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\tremoved\n", name, oldNs[name])
+	for name := range oldRes {
+		if _, ok := newRes[name]; !ok {
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t-\t-\tremoved\n", name, oldRes[name].Ns)
 		}
 	}
 	tw.Flush()

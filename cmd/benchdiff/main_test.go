@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCapture(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseReadsNsAndAllocs(t *testing.T) {
+	capture := `{"Action":"output","Test":"","Output":"BenchmarkPlanAll/tree/n=5000-8  400  2556000 ns/op  0 B/op  0 allocs/op\n"}
+{"Action":"output","Test":"BenchmarkFigure5/n=50/SRM","Output":"  30\t 5614447 ns/op\t 120 B/op\t 7 allocs/op\n"}
+{"Action":"output","Test":"","Output":"BenchmarkOld-8  10  99 ns/op\n"}
+not json at all
+`
+	res, err := parse(writeCapture(t, "cap.json", capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, ok := res["BenchmarkPlanAll/tree/n=5000"]
+	if !ok || tree.Ns != 2556000 || !tree.HasAllocs || tree.Allocs != 0 {
+		t.Fatalf("tree cell parsed as %+v (present=%v)", tree, ok)
+	}
+	srm, ok := res["BenchmarkFigure5/n=50/SRM"]
+	if !ok || srm.Ns != 5614447 || !srm.HasAllocs || srm.Allocs != 7 {
+		t.Fatalf("split-line cell parsed as %+v (present=%v)", srm, ok)
+	}
+	// Captures without -benchmem still parse, with allocs unknown.
+	old, ok := res["BenchmarkOld"]
+	if !ok || old.Ns != 99 || old.HasAllocs {
+		t.Fatalf("benchmem-less cell parsed as %+v (present=%v)", old, ok)
+	}
+}
+
+func TestAllocsRegressed(t *testing.T) {
+	cases := []struct {
+		old, new float64
+		want     bool
+	}{
+		{0, 0, false},
+		{0, 1, false}, // one stray allocation is noise
+		{0, 8, true},  // zero-alloc contract broken
+		{100, 105, false},
+		{100, 115, true},   // >10% and ≥2 absolute
+		{10, 11, false},    // 10% but only +1 absolute
+		{1000, 900, false}, // improvement
+	}
+	for _, c := range cases {
+		if got := allocsRegressed(c.old, c.new, 0.10); got != c.want {
+			t.Errorf("allocsRegressed(%v, %v) = %v, want %v", c.old, c.new, got, c.want)
+		}
+	}
+}

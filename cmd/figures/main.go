@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "5|6|7|8|56|78|ablation|chaos|adversarial|all")
+		fig      = flag.String("fig", "all", "5|6|7|8|56|78|ablation|chaos|adversarial|scaling|all")
 		packets  = flag.Int("packets", 100, "data packets per run")
 		reps     = flag.Int("reps", 1, "traffic-seed replicates per cell")
 		seed     = flag.Uint64("seed", 2003, "base seed")
@@ -79,7 +79,10 @@ func main() {
 	needAb := *fig == "all" || *fig == "ablation"
 	needCh := *fig == "all" || *fig == "chaos"
 	needAdv := *fig == "all" || *fig == "adversarial"
-	if !need56 && !need78 && !needAb && !needCh && !needAdv {
+	// The scaling tier is a planning-performance probe, not a paper figure,
+	// so "all" does not imply it; ask for it explicitly.
+	needSc := *fig == "scaling"
+	if !need56 && !need78 && !needAb && !needCh && !needAdv && !needSc {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
@@ -155,5 +158,26 @@ func main() {
 		emit(lat)
 		emit(p99)
 		emit(bw)
+	}
+	if needSc {
+		s := experiment.DefaultScaling()
+		s.BaseSeed = *seed
+		report, err := s.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		switch {
+		case *md:
+			err = report.Markdown(os.Stdout)
+		case *csv:
+			err = report.CSV(os.Stdout)
+		default:
+			err = report.Format(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -20,6 +20,8 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"text/tabwriter"
 
@@ -48,6 +50,10 @@ func main() {
 			"run the fault-injection (chaos) sweep instead of a single run: crashes, link outages and burst loss rising with severity, RP vs SRM vs RMA vs RP-RESILIENT")
 		adversarial = flag.Bool("adversarial", false,
 			"run the adversarial message-plane sweep instead of a single run: control-packet duplication, reordering, corruption and repair storms rising with intensity, SRM vs RMA vs RP vs SRC")
+		scaling = flag.Bool("scaling", false,
+			"run the large-n planning scaling tier instead of a simulation: tree-aggregated batch planner vs the O(N²) scan on tree-only topologies")
+		sizes = flag.String("sizes", "",
+			"comma-separated client counts for -scaling (default 1000,5000,20000,50000)")
 		reps     = flag.Int("replicates", 1, "replicate seeds per chaos/adversarial cell")
 		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
 			"worker count for multi-protocol runs (1 = serial; output is identical either way)")
@@ -108,6 +114,39 @@ func main() {
 			os.Exit(1)
 		}
 		emitFigures(delivery, latency, p99, bandwidth)
+		return
+	}
+
+	if *scaling {
+		sweep := experiment.DefaultScaling()
+		sweep.BaseSeed = *simSeed
+		if *sizes != "" {
+			sweep.Sizes = nil
+			for _, s := range strings.Split(*sizes, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(s))
+				if err != nil || n < 1 {
+					fmt.Fprintf(os.Stderr, "rmsim: bad -sizes entry %q\n", s)
+					os.Exit(2)
+				}
+				sweep.Sizes = append(sweep.Sizes, n)
+			}
+		}
+		report, err := sweep.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			err = enc.Encode(report)
+		} else {
+			err = report.Format(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -73,12 +73,13 @@ func EvalAnyQ(list []AttemptRef, dsU int32, srcRTT float64, q float64) float64 {
 // remaining delay given every peer up to and including v_i has failed.
 // At q = 1 this is exactly the strategy-graph optimum of Algorithm 1.
 func (sg *StrategyGraph) OptimalDP(q float64) *Strategy {
-	return sg.optimalDP(q, nil, nil)
+	return sg.optimalDP(q, nil, nil, nil)
 }
 
-// optimalDP is OptimalDP with caller-provided scratch buffers (see
-// algorithm1); nil buffers allocate fresh ones.
-func (sg *StrategyGraph) optimalDP(q float64, W []float64, choice []int) *Strategy {
+// optimalDP is OptimalDP with caller-provided scratch buffers and an
+// optional Strategy to fill in place (see algorithm1); nil buffers allocate
+// fresh ones.
+func (sg *StrategyGraph) optimalDP(q float64, W []float64, choice []int, into *Strategy) *Strategy {
 	n := len(sg.Candidates)
 	// W[i] for i in 1..n is the remaining expected delay after v_i failed;
 	// W[0] is the answer (state "only u's loss observed", prefix DS_u).
@@ -119,13 +120,16 @@ func (sg *StrategyGraph) optimalDP(q float64, W []float64, choice []int) *Strate
 		W[i] = best
 		choice[i] = bestChoice
 	}
-	st := &Strategy{
-		Client:        sg.Client,
-		ClientDepth:   sg.ClientDepth,
-		SourceRTT:     sg.SourceRTT,
-		SourceTimeout: sg.SourceTimeout,
-		ExpectedDelay: W[0],
+	st := into
+	if st == nil {
+		st = &Strategy{}
 	}
+	st.Client = sg.Client
+	st.ClientDepth = sg.ClientDepth
+	st.Peers = st.Peers[:0]
+	st.SourceRTT = sg.SourceRTT
+	st.SourceTimeout = sg.SourceTimeout
+	st.ExpectedDelay = W[0]
 	for i := choice[0]; i != 0; i = choice[i] {
 		st.Peers = append(st.Peers, sg.Candidates[i-1])
 	}

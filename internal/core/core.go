@@ -24,8 +24,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"rmcast/internal/graph"
@@ -126,6 +127,19 @@ type Planner struct {
 	// losses, which the paper's reliable-network model ignores. Zero (the
 	// default) is the paper-faithful planner.
 	LossProb float64
+	// DisableFastPath forces batch planning onto the O(N²) peer scan even
+	// when the tree-aggregated path applies. Benchmark/testing knob; the
+	// two paths produce identical strategies.
+	DisableFastPath bool
+
+	// Lazily built batch-planning state (see planall.go/treeagg.go). The
+	// configuration fields above must be set before the first batch call;
+	// batch planning methods are not safe for concurrent use on one
+	// Planner (per-client methods like StrategyFor remain safe).
+	sc      *planScratch
+	agg     *treeAgg
+	mode    fastMode
+	modeSet bool
 }
 
 // NewPlanner returns a Planner with the default timeout policy and direct
@@ -195,14 +209,28 @@ func (p *Planner) Candidates(u graph.NodeID) []Candidate {
 // by ascending peer ID. The tiebreak makes the order — and therefore any
 // tie in the downstream shortest-path selection — independent of map
 // iteration order, which the parallel harness needs for bit-identical
-// reruns.
+// reruns. The key is a total order (one winner per class), so the result
+// is unique regardless of sorting algorithm; insertion sort handles the
+// common short, mostly-sorted lists without sort.Slice's closure
+// allocation, with slices.SortFunc (also allocation-free) past the cutoff.
 func sortCandidates(cs []Candidate) {
-	sort.Slice(cs, func(i, j int) bool {
-		if cs[i].DS != cs[j].DS {
-			return cs[i].DS > cs[j].DS
+	if len(cs) <= 32 {
+		for i := 1; i < len(cs); i++ {
+			for j := i; j > 0 && candCmp(cs[j], cs[j-1]) < 0; j-- {
+				cs[j], cs[j-1] = cs[j-1], cs[j]
+			}
 		}
-		return cs[i].Peer < cs[j].Peer
-	})
+		return
+	}
+	slices.SortFunc(cs, candCmp)
+}
+
+// candCmp is the candidate ordering: DS descending, then peer ascending.
+func candCmp(a, b Candidate) int {
+	if c := cmp.Compare(b.DS, a.DS); c != 0 {
+		return c
+	}
+	return cmp.Compare(a.Peer, b.Peer)
 }
 
 // attemptCost is the expected cost of asking cand first (prefix DS_u),

@@ -7,18 +7,31 @@ import (
 )
 
 // This file is the batch planning path: PlanAll computes every client's
-// strategy in one shared pass. Per-client, the work is identical to
+// strategy in one shared pass. Per-client, the result is identical to
 // StrategyFor — candidate classes (Lemma 4), descending-DS order (Lemma 5),
 // then Algorithm 1 or the loss-aware DP — but the pass shares all scratch
-// state across clients:
+// state across clients and, when the preconditions hold, replaces the
+// per-client peer scan with the tree-aggregated index of treeagg.go:
 //
-//   - the competitive-class winner table is a dense epoch-stamped slice
-//     indexed by meet router instead of a fresh map per client, so class
-//     reduction does no hashing and no per-client allocation;
-//   - the candidate list and the shortest-path buffers are reused across
-//     clients (strategies never retain them: Peers are copied out);
-//   - LCA queries hit the tree's O(1) Euler-tour sparse table, so the
-//     k² meet-depth lookups cost two array reads each.
+//   - Fast path (computeFastMode != fastOff): every candidate class of u is
+//     keyed by a meet router on u's root path, and the class winner is an
+//     O(1) aggregate lookup, so one client plans in O(depth) and the whole
+//     batch in O(N·depth) instead of O(N²). The candidate list falls out
+//     already in descending-DS order (ancestors have strictly decreasing
+//     depth). The winner's RTT/Timeout fields are filled through the same
+//     route calls as the scan, so strategies match field for field; tests
+//     fuzz this equivalence across configurations and topologies.
+//   - Scan path (the fallback, and the former implementation): the
+//     competitive-class winner table is a dense epoch-stamped slice indexed
+//     by meet router, the candidate list and shortest-path buffers are
+//     reused across clients, and LCA queries hit the O(1) Euler-tour table.
+//
+// Exactness caveat: the fast path ranks by DelayFromRoot while the scan
+// compares summed float costs. With integer (or any dyadic) link delays the
+// two are exactly equivalent; with continuous random delays a divergence
+// requires two distinct real delays to collapse to the same float sum,
+// which has probability zero. Only adversarial non-dyadic delay sets can
+// tell the paths apart, and then only by swapping equal-cost winners.
 //
 // The harness plans every client of every topology of every sweep cell, so
 // this path is what BenchmarkPlannerAll measures and what the RP engines
@@ -34,9 +47,10 @@ type planScratch struct {
 	epoch    uint32
 	// cands is the reused candidate buffer.
 	cands []Candidate
-	// dist/parent back algorithm1; W/choice back optimalDP.
+	// dist/parent/rev back algorithm1; W/choice back optimalDP.
 	dist   []float64
 	parent []int
+	rev    []int
 	W      []float64
 	choice []int
 }
@@ -48,20 +62,78 @@ func newPlanScratch(nodes int) *planScratch {
 	}
 }
 
+// batchState lazily builds the planner's shared batch machinery: the
+// scratch buffers, the fast-path eligibility decision, and (when eligible)
+// the tree aggregate over the full client set. The decision is made once —
+// Tree/Routes/Timeout/LossProb must not change after the first batch call.
+func (p *Planner) batchState() {
+	if p.sc == nil {
+		p.sc = newPlanScratch(len(p.Tree.Depth))
+	}
+	if !p.modeSet {
+		p.mode = p.computeFastMode()
+		p.modeSet = true
+		if p.mode != fastOff {
+			p.agg = newTreeAgg(p.Tree)
+		}
+	}
+}
+
+// UsesFastPath reports whether batch planning uses the tree-aggregated
+// near-linear path (as opposed to the O(N²) peer scan). Diagnostic; the
+// result is fixed at the first batch planning call.
+func (p *Planner) UsesFastPath() bool {
+	p.batchState()
+	return p.mode != fastOff
+}
+
 // PlanAll computes strategies for every client in one batch pass. The
 // result is identical (field for field) to calling StrategyFor per client;
 // tests assert this across planner configurations.
 func (p *Planner) PlanAll() map[graph.NodeID]*Strategy {
-	sc := newPlanScratch(len(p.Tree.Depth))
-	out := make(map[graph.NodeID]*Strategy, len(p.Tree.Clients))
+	return p.PlanAllInto(nil)
+}
+
+// PlanAllInto is PlanAll writing into a caller-retained result map: map
+// entries and their Strategy values (including Peers backing arrays) are
+// updated in place, so steady-state replanning — the RP session attach
+// path, sweep cells over the same topology — allocates nothing. A nil map
+// behaves like PlanAll. The returned map is the input map.
+func (p *Planner) PlanAllInto(out map[graph.NodeID]*Strategy) map[graph.NodeID]*Strategy {
+	if out == nil {
+		out = make(map[graph.NodeID]*Strategy, len(p.Tree.Clients))
+	}
+	p.batchState()
+	if p.mode != fastOff {
+		for _, u := range p.Tree.Clients {
+			out[u] = p.planOneTree(u, p.sc, out[u])
+		}
+		return out
+	}
 	for _, u := range p.Tree.Clients {
-		out[u] = p.planOne(u, sc)
+		out[u] = p.planOne(u, p.sc, out[u])
 	}
 	return out
 }
 
-// planOne computes one client's strategy using the shared scratch.
-func (p *Planner) planOne(u graph.NodeID, sc *planScratch) *Strategy {
+// candidateOf materialises the class-winner candidate for client u at meet
+// router meet. Both planning paths build candidates through this helper, so
+// the fast path's strategies carry bit-identical RTT/Timeout fields.
+func (p *Planner) candidateOf(u, meet, v graph.NodeID, pol TimeoutPolicy) Candidate {
+	rtt := p.Routes.RTT(u, v)
+	return Candidate{
+		Peer:    v,
+		Meet:    meet,
+		DS:      p.Tree.Depth[meet],
+		RTT:     rtt,
+		Timeout: pol.Timeout(rtt),
+		Priv:    p.Tree.Depth[v] - p.Tree.Depth[meet],
+	}
+}
+
+// planOne computes one client's strategy by scanning every peer (the
+// always-correct fallback). into, when non-nil, is updated in place.
+func (p *Planner) planOne(u graph.NodeID, sc *planScratch, into *Strategy) *Strategy {
 	if !p.Tree.Net.IsClient(u) {
 		panic(fmt.Sprintf("core: plan of non-client node %d", u))
 	}
@@ -73,15 +145,7 @@ func (p *Planner) planOne(u graph.NodeID, sc *planScratch) *Strategy {
 			continue
 		}
 		meet := p.Tree.LCA(u, v)
-		rtt := p.Routes.RTT(u, v)
-		cand := Candidate{
-			Peer:    v,
-			Meet:    meet,
-			DS:      p.Tree.Depth[meet],
-			RTT:     rtt,
-			Timeout: pol.Timeout(rtt),
-			Priv:    p.Tree.Depth[v] - p.Tree.Depth[meet],
-		}
+		cand := p.candidateOf(u, meet, v, pol)
 		if sc.mark[meet] != sc.epoch {
 			sc.mark[meet] = sc.epoch
 			sc.classIdx[meet] = int32(len(sc.cands))
@@ -96,6 +160,47 @@ func (p *Planner) planOne(u graph.NodeID, sc *planScratch) *Strategy {
 			*cur = cand
 		}
 	}
+	return p.finishPlan(u, sc, pol, into)
+}
+
+// planOneTree computes one client's strategy from the tree aggregate: the
+// meet routers of u are exactly the nodes of u's root path (u itself when
+// peers sit below it), and each class winner is an O(1) lookup excluding
+// the branch u hangs under. Candidates emerge deepest-first, i.e. already
+// in the strictly-descending-DS order Lemma 5 requires.
+func (p *Planner) planOneTree(u graph.NodeID, sc *planScratch, into *Strategy) *Strategy {
+	if !p.Tree.Net.IsClient(u) {
+		panic(fmt.Sprintf("core: plan of non-client node %d", u))
+	}
+	pol := p.timeout()
+	t := p.Tree
+	sc.cands = sc.cands[:0]
+	// Descendant class first (meet == u): peers strictly below u. Its
+	// conditional loss probability is 1, so under constant-cost policies
+	// (fastKeyPeerSelf) the scan's tie-break degenerates to min peer ID.
+	var e aggEntry
+	if p.mode == fastKeyPeerSelf {
+		e = bestExcluding(&p.agg.byPeer[u], aggSelf)
+	} else {
+		e = bestExcluding(&p.agg.byKey[u], aggSelf)
+	}
+	if e.peer != graph.None {
+		sc.cands = append(sc.cands, p.candidateOf(u, u, e.peer, pol))
+	}
+	// Ancestor classes, deepest first: exclude the branch leading to u.
+	for x := u; t.Parent[x] != graph.None; x = t.Parent[x] {
+		r := t.Parent[x]
+		e := bestExcluding(&p.agg.byKey[r], p.agg.childPos[x])
+		if e.peer != graph.None {
+			sc.cands = append(sc.cands, p.candidateOf(u, r, e.peer, pol))
+		}
+	}
+	return p.finishPlan(u, sc, pol, into)
+}
+
+// finishPlan runs the shared tail of both planning paths: candidate order,
+// strategy graph, and the shortest-path solver over the shared scratch.
+func (p *Planner) finishPlan(u graph.NodeID, sc *planScratch, pol TimeoutPolicy, into *Strategy) *Strategy {
 	sortCandidates(sc.cands)
 	srcRTT := p.Routes.RTT(u, p.Tree.Root)
 	sg := &StrategyGraph{
@@ -106,15 +211,16 @@ func (p *Planner) planOne(u graph.NodeID, sc *planScratch) *Strategy {
 		SourceTimeout:     pol.Timeout(srcRTT),
 		AllowDirectSource: p.AllowDirectSource,
 	}
-	// Grow the shortest-path scratch once; algorithm1/optimalDP reslice it.
+	// Grow the shortest-path scratch once; the solvers reslice it.
 	if need := len(sc.cands) + 2; cap(sc.dist) < need {
 		sc.dist = make([]float64, need)
 		sc.parent = make([]int, need)
+		sc.rev = make([]int, need)
 		sc.W = make([]float64, need)
 		sc.choice = make([]int, need)
 	}
 	if p.LossProb > 0 {
-		return sg.optimalDP(1-p.LossProb, sc.W, sc.choice)
+		return sg.optimalDP(1-p.LossProb, sc.W, sc.choice, into)
 	}
-	return sg.algorithm1(sc.dist, sc.parent)
+	return sg.algorithm1(sc.dist, sc.parent, sc.rev, into)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -60,12 +61,55 @@ func TestPlanAllRepeatable(t *testing.T) {
 	}
 }
 
+// BenchmarkPlanAll measures batch planning. The chords cell is the historic
+// benchmark (default chorded topology, which falls back to the peer scan);
+// the scan/tree pair at n=5000 clients is the acceptance comparison for the
+// tree-aggregated path: identical topology and router, only the path
+// differs.
 func BenchmarkPlanAll(b *testing.B) {
-	net := topology.MustGenerate(topology.DefaultConfig(300), rng.New(1))
-	tree := mtree.MustBuild(net)
-	p := NewPlanner(tree, route.Build(net))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = p.PlanAll()
+	b.Run("chords/n=300", func(b *testing.B) {
+		net := topology.MustGenerate(topology.DefaultConfig(300), rng.New(1))
+		tree := mtree.MustBuild(net)
+		p := NewPlanner(tree, route.Build(net))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = p.PlanAll()
+		}
+	})
+	for _, mode := range []string{"scan", "tree"} {
+		b.Run(mode+"/n=5000", func(b *testing.B) {
+			net := topology.MustGenerateTree(topology.DefaultTreeConfig(5000), rng.New(1))
+			tree := mtree.MustBuild(net)
+			p := NewPlanner(tree, route.NewTreeTables(tree))
+			p.DisableFastPath = mode == "scan"
+			out := p.PlanAll() // warm scratch and result map
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PlanAllInto(out)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanAllLarge is the scaling tier's micro counterpart: steady-
+// state full replans on the fast path at the sweep's client counts.
+func BenchmarkPlanAllLarge(b *testing.B) {
+	for _, n := range []int{1000, 5000, 20000, 50000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			net := topology.MustGenerateTree(topology.DefaultTreeConfig(n), rng.New(1))
+			tree := mtree.MustBuild(net)
+			p := NewPlanner(tree, route.NewTreeTables(tree))
+			if !p.UsesFastPath() {
+				b.Fatal("expected fast path")
+			}
+			out := p.PlanAll()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.PlanAllInto(out)
+			}
+		})
 	}
 }

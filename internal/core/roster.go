@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"rmcast/internal/graph"
 )
@@ -32,6 +32,14 @@ type Roster struct {
 	winners map[graph.NodeID]map[graph.NodeID]Candidate
 	// recomputes counts strategy recomputations (observability/testing).
 	recomputes int
+	// agg, when non-nil, is a membership-tracking tree aggregate (see
+	// treeagg.go): each replan then reads its candidates off the client's
+	// root path in O(depth) instead of scanning every active member, and a
+	// join/leave repairs only the O(depth) aggregate nodes above the
+	// churned client. nil when the planner configuration requires the scan
+	// (see computeFastMode); both paths produce identical strategies.
+	agg  *treeAgg
+	mode fastMode
 }
 
 // NewRoster creates a roster over the planner's full client set, all
@@ -45,6 +53,9 @@ func NewRoster(p *Planner) *Roster {
 	}
 	for _, c := range p.Tree.Clients {
 		r.active[c] = true
+	}
+	if r.mode = p.computeFastMode(); r.mode != fastOff {
+		r.agg = newTreeAgg(p.Tree) // all clients active, matching r.active
 	}
 	for c := range r.active {
 		r.replan(c)
@@ -95,10 +106,41 @@ func (r *Roster) candidatesAmong(u graph.NodeID) map[graph.NodeID]Candidate {
 	return best
 }
 
+// candidatesAgg reads u's class-winner map off its root path using the
+// membership-tracking aggregate — the O(depth) equivalent of
+// candidatesAmong (see planOneTree for the class/winner argument).
+func (r *Roster) candidatesAgg(u graph.NodeID) map[graph.NodeID]Candidate {
+	pol := r.p.timeout()
+	t := r.p.Tree
+	best := make(map[graph.NodeID]Candidate, t.Depth[u])
+	var e aggEntry
+	if r.mode == fastKeyPeerSelf {
+		e = bestExcluding(&r.agg.byPeer[u], aggSelf)
+	} else {
+		e = bestExcluding(&r.agg.byKey[u], aggSelf)
+	}
+	if e.peer != graph.None {
+		best[u] = r.p.candidateOf(u, u, e.peer, pol)
+	}
+	for x := u; t.Parent[x] != graph.None; x = t.Parent[x] {
+		anc := t.Parent[x]
+		e := bestExcluding(&r.agg.byKey[anc], r.agg.childPos[x])
+		if e.peer != graph.None {
+			best[anc] = r.p.candidateOf(u, anc, e.peer, pol)
+		}
+	}
+	return best
+}
+
 // replan recomputes one client's strategy from its roster-restricted
 // candidates and refreshes the winner index.
 func (r *Roster) replan(u graph.NodeID) {
-	best := r.candidatesAmong(u)
+	var best map[graph.NodeID]Candidate
+	if r.agg != nil {
+		best = r.candidatesAgg(u)
+	} else {
+		best = r.candidatesAmong(u)
+	}
 	cands := make([]Candidate, 0, len(best))
 	for _, c := range best {
 		cands = append(cands, c)
@@ -131,6 +173,9 @@ func (r *Roster) Leave(v graph.NodeID) ([]graph.NodeID, error) {
 	delete(r.active, v)
 	delete(r.strategies, v)
 	delete(r.winners, v)
+	if r.agg != nil {
+		r.agg.setActive(v, false)
+	}
 	var affected []graph.NodeID
 	for u, classes := range r.winners {
 		for _, w := range classes {
@@ -140,7 +185,7 @@ func (r *Roster) Leave(v graph.NodeID) ([]graph.NodeID, error) {
 			}
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	slices.Sort(affected)
 	for _, u := range affected {
 		r.replan(u)
 	}
@@ -159,6 +204,9 @@ func (r *Roster) Join(v graph.NodeID) ([]graph.NodeID, error) {
 		return nil, fmt.Errorf("core: %d is not a client of this tree", v)
 	}
 	r.active[v] = true
+	if r.agg != nil {
+		r.agg.setActive(v, true)
+	}
 	var affected []graph.NodeID
 	for u, classes := range r.winners {
 		meet := r.p.Tree.LCA(u, v)
@@ -178,7 +226,7 @@ func (r *Roster) Join(v graph.NodeID) ([]graph.NodeID, error) {
 			affected = append(affected, u)
 		}
 	}
-	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	slices.Sort(affected)
 	for _, u := range affected {
 		r.replan(u)
 	}

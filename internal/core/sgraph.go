@@ -107,13 +107,14 @@ func (sg *StrategyGraph) Digraph() *graph.Digraph {
 // meets or exceeds the tentative distance of S (the paper's step-4 prune —
 // such a vertex cannot improve any path). Runs in O(N²).
 func (sg *StrategyGraph) Algorithm1() *Strategy {
-	return sg.algorithm1(nil, nil)
+	return sg.algorithm1(nil, nil, nil, nil)
 }
 
-// algorithm1 is Algorithm1 with caller-provided scratch buffers, so the
-// batch planner (PlanAll) can amortise the per-client allocations. nil
-// buffers (the public entry point) allocate fresh ones.
-func (sg *StrategyGraph) algorithm1(dist []float64, parent []int) *Strategy {
+// algorithm1 is Algorithm1 with caller-provided scratch buffers and an
+// optional Strategy to fill in place, so the batch planner (PlanAll) can
+// amortise the per-client allocations. nil buffers (the public entry point)
+// allocate fresh ones; a nil into allocates a fresh Strategy.
+func (sg *StrategyGraph) algorithm1(dist []float64, parent, rev []int, into *Strategy) *Strategy {
 	n := len(sg.Candidates)
 	srcIdx := n + 1
 	if cap(dist) < n+2 {
@@ -149,7 +150,7 @@ func (sg *StrategyGraph) algorithm1(dist []float64, parent []int) *Strategy {
 			}
 		}
 	}
-	return sg.extract(dist, parent)
+	return sg.extract(dist, parent, rev, into)
 }
 
 // ShortestPathDAG computes the same optimum via the generic topological
@@ -166,27 +167,31 @@ func (sg *StrategyGraph) ShortestPathDAG() *Strategy {
 	for i, p := range par {
 		parent[i] = int(p)
 	}
-	return sg.extract(dist, parent)
+	return sg.extract(dist, parent, nil, nil)
 }
 
 // extract walks parent pointers from S back to u and assembles a Strategy.
 // If S is unreachable (restricted graph with zero candidates) it falls back
 // to the direct-source strategy, which the protocol needs as a last resort
-// regardless of planning restrictions.
-func (sg *StrategyGraph) extract(dist []float64, parent []int) *Strategy {
+// regardless of planning restrictions. rev is optional walk scratch; into,
+// when non-nil, is reset and filled in place (its Peers array is reused).
+func (sg *StrategyGraph) extract(dist []float64, parent, rev []int, into *Strategy) *Strategy {
 	n := len(sg.Candidates)
 	srcIdx := n + 1
-	st := &Strategy{
-		Client:        sg.Client,
-		ClientDepth:   sg.ClientDepth,
-		SourceRTT:     sg.SourceRTT,
-		SourceTimeout: sg.SourceTimeout,
+	st := into
+	if st == nil {
+		st = &Strategy{}
 	}
+	st.Client = sg.Client
+	st.ClientDepth = sg.ClientDepth
+	st.Peers = st.Peers[:0]
+	st.SourceRTT = sg.SourceRTT
+	st.SourceTimeout = sg.SourceTimeout
 	if math.IsInf(dist[srcIdx], 1) {
 		st.ExpectedDelay = sg.SourceRTT
 		return st
 	}
-	var rev []int
+	rev = rev[:0]
 	for x := srcIdx; x != 0; x = parent[x] {
 		rev = append(rev, x)
 		if parent[x] < 0 {

@@ -1,0 +1,246 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"strconv"
+	"text/tabwriter"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/graph"
+	"rmcast/internal/mtree"
+	"rmcast/internal/rng"
+	"rmcast/internal/route"
+	"rmcast/internal/topology"
+)
+
+// ScalingSweep is the large-n planning tier: RP strategy planning only (no
+// packet simulation) on tree-only topologies at client counts far beyond
+// the paper's figures, reporting wall-clock and allocation counts for the
+// tree-aggregated batch planner, plus the O(N²) scan baseline and a
+// correctness cross-check where the baseline is affordable. This probes the
+// ROADMAP's "millions of users" direction: planning is the only whole-group
+// computation RP needs, so its scaling is the deployment bottleneck.
+type ScalingSweep struct {
+	// Sizes are the client counts n.
+	Sizes []int
+	// ClientsPerRouter shapes the topology (see topology.TreeConfig).
+	ClientsPerRouter int
+	// ScanCutoff bounds the sizes at which the quadratic scan baseline is
+	// also run (and the two result sets compared); 0 means 5000.
+	ScanCutoff int
+	// BaseSeed derives each cell's topology seed.
+	BaseSeed uint64
+}
+
+// DefaultScaling returns the standard tier: n ∈ {1k, 5k, 20k, 50k}.
+func DefaultScaling() ScalingSweep {
+	return ScalingSweep{
+		Sizes:            []int{1000, 5000, 20000, 50000},
+		ClientsPerRouter: 4,
+		ScanCutoff:       5000,
+		BaseSeed:         1,
+	}
+}
+
+// ScalingCell is one measured size.
+type ScalingCell struct {
+	// Clients is n; Nodes the total node count; TreeDepth the tree height.
+	Clients   int
+	Nodes     int
+	TreeDepth int32
+	// BuildMs is topology generation + tree construction + router setup.
+	BuildMs float64
+	// PlanMs is the first full PlanAll on the aggregated path (includes
+	// building the aggregate); ReplanMs is a steady-state PlanAllInto over
+	// the same result set, the cost a live session pays per replan.
+	PlanMs   float64
+	ReplanMs float64
+	// PlanAllocs/ReplanAllocs are heap allocation counts for those passes.
+	PlanAllocs   uint64
+	ReplanAllocs uint64
+	// ScanMs is the O(N²) scan baseline (0 when skipped as too large);
+	// Speedup is ScanMs/PlanMs.
+	ScanMs  float64
+	Speedup float64
+	// Verified reports that the scan baseline ran and produced strategies
+	// identical to the fast path's.
+	Verified bool
+	// FastPath confirms the aggregated path was engaged.
+	FastPath bool
+	// MeanPeers is the mean prioritized-list length across clients.
+	MeanPeers float64
+}
+
+// ScalingReport is the sweep result with the harness's usual renderings.
+type ScalingReport []ScalingCell
+
+// Run executes the sweep. Cells run serially on purpose: wall-clock is the
+// measurement, so cells must not contend for cores.
+func (s ScalingSweep) Run() (ScalingReport, error) {
+	cutoff := s.ScanCutoff
+	if cutoff == 0 {
+		cutoff = 5000
+	}
+	report := make(ScalingReport, 0, len(s.Sizes))
+	for i, n := range s.Sizes {
+		cell, err := s.runCell(n, s.BaseSeed+uint64(i)*1000, n <= cutoff)
+		if err != nil {
+			return nil, fmt.Errorf("scaling n=%d: %w", n, err)
+		}
+		report = append(report, cell)
+	}
+	return report, nil
+}
+
+// allocsDuring runs f and returns its duration and heap allocation count.
+func allocsDuring(f func()) (time.Duration, uint64) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	f()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs
+}
+
+func (s ScalingSweep) runCell(n int, seed uint64, withScan bool) (ScalingCell, error) {
+	cfg := topology.DefaultTreeConfig(n)
+	if s.ClientsPerRouter > 0 {
+		cfg.ClientsPerRouter = s.ClientsPerRouter
+	}
+	buildStart := time.Now()
+	net, err := topology.GenerateTree(cfg, rng.New(seed))
+	if err != nil {
+		return ScalingCell{}, err
+	}
+	tree, err := mtree.Build(net)
+	if err != nil {
+		return ScalingCell{}, err
+	}
+	rt := route.NewTreeTables(tree)
+	cell := ScalingCell{
+		Clients: n,
+		Nodes:   net.NumNodes(),
+		BuildMs: float64(time.Since(buildStart)) / float64(time.Millisecond),
+	}
+	for _, d := range tree.Depth {
+		if d > cell.TreeDepth {
+			cell.TreeDepth = d
+		}
+	}
+
+	p := core.NewPlanner(tree, rt)
+	var strategies map[graph.NodeID]*core.Strategy
+	planTime, planAllocs := allocsDuring(func() {
+		strategies = p.PlanAll()
+	})
+	cell.PlanMs = float64(planTime) / float64(time.Millisecond)
+	cell.PlanAllocs = planAllocs
+	cell.FastPath = p.UsesFastPath()
+
+	replanTime, replanAllocs := allocsDuring(func() {
+		p.PlanAllInto(strategies)
+	})
+	cell.ReplanMs = float64(replanTime) / float64(time.Millisecond)
+	cell.ReplanAllocs = replanAllocs
+
+	var peers int
+	for _, st := range strategies {
+		peers += len(st.Peers)
+	}
+	cell.MeanPeers = float64(peers) / float64(len(strategies))
+
+	if withScan {
+		scan := core.NewPlanner(tree, rt)
+		scan.DisableFastPath = true
+		var scanned map[graph.NodeID]*core.Strategy
+		scanTime, _ := allocsDuring(func() {
+			scanned = scan.PlanAll()
+		})
+		cell.ScanMs = float64(scanTime) / float64(time.Millisecond)
+		if cell.PlanMs > 0 {
+			cell.Speedup = cell.ScanMs / cell.PlanMs
+		}
+		if !reflect.DeepEqual(strategies, scanned) {
+			return cell, fmt.Errorf("fast path diverged from scan baseline")
+		}
+		cell.Verified = true
+	}
+	return cell, nil
+}
+
+// Format renders the report as an aligned table.
+func (r ScalingReport) Format(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "clients\tnodes\tdepth\tbuild(ms)\tplan(ms)\treplan(ms)\tscan(ms)\tspeedup\tplan allocs\treplan allocs\tpeers/client\tfast\tverified")
+	for _, c := range r {
+		scan, speedup := "-", "-"
+		if c.ScanMs > 0 {
+			scan = fmt.Sprintf("%.1f", c.ScanMs)
+			speedup = fmt.Sprintf("%.0f×", c.Speedup)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%s\t%s\t%d\t%d\t%.2f\t%v\t%v\n",
+			c.Clients, c.Nodes, c.TreeDepth, c.BuildMs, c.PlanMs, c.ReplanMs,
+			scan, speedup, c.PlanAllocs, c.ReplanAllocs, c.MeanPeers, c.FastPath, c.Verified)
+	}
+	return tw.Flush()
+}
+
+// Markdown renders the report as a GitHub table for EXPERIMENTS.md.
+func (r ScalingReport) Markdown(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "| clients | nodes | depth | build (ms) | plan (ms) | replan (ms) | scan (ms) | speedup | replan allocs |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
+		return err
+	}
+	for _, c := range r {
+		scan, speedup := "—", "—"
+		if c.ScanMs > 0 {
+			scan = fmt.Sprintf("%.1f", c.ScanMs)
+			speedup = fmt.Sprintf("%.0f×", c.Speedup)
+		}
+		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %.1f | %.2f | %.2f | %s | %s | %d |\n",
+			c.Clients, c.Nodes, c.TreeDepth, c.BuildMs, c.PlanMs, c.ReplanMs,
+			scan, speedup, c.ReplanAllocs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV renders the report for plotting.
+func (r ScalingReport) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"clients", "nodes", "depth", "build_ms", "plan_ms",
+		"replan_ms", "scan_ms", "speedup", "plan_allocs", "replan_allocs",
+		"mean_peers", "fast_path", "verified"}); err != nil {
+		return err
+	}
+	for _, c := range r {
+		rec := []string{
+			strconv.Itoa(c.Clients), strconv.Itoa(c.Nodes),
+			strconv.Itoa(int(c.TreeDepth)),
+			strconv.FormatFloat(c.BuildMs, 'f', 3, 64),
+			strconv.FormatFloat(c.PlanMs, 'f', 3, 64),
+			strconv.FormatFloat(c.ReplanMs, 'f', 3, 64),
+			strconv.FormatFloat(c.ScanMs, 'f', 3, 64),
+			strconv.FormatFloat(c.Speedup, 'f', 2, 64),
+			strconv.FormatUint(c.PlanAllocs, 10),
+			strconv.FormatUint(c.ReplanAllocs, 10),
+			strconv.FormatFloat(c.MeanPeers, 'f', 3, 64),
+			strconv.FormatBool(c.FastPath),
+			strconv.FormatBool(c.Verified),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -20,8 +20,9 @@
 package fault
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"rmcast/internal/graph"
 )
@@ -183,7 +184,7 @@ func (s *Schedule) SetBurst(link graph.EdgeID, p GEParams) *Schedule {
 // schedule for chaining. State construction normalizes automatically;
 // calling it earlier is harmless.
 func (s *Schedule) Normalize() *Schedule {
-	sort.SliceStable(s.Events, func(i, j int) bool { return s.Events[i].At < s.Events[j].At })
+	slices.SortStableFunc(s.Events, func(a, b Event) int { return cmp.Compare(a.At, b.At) })
 	for l, p := range s.Burst {
 		s.Burst[l] = p.Clamped()
 	}

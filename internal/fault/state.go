@@ -1,7 +1,9 @@
 package fault
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 
 	"rmcast/internal/graph"
@@ -197,14 +199,14 @@ func (st *State) HostEvents() []Event {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].At != out[j].At {
-			return out[i].At < out[j].At
+	slices.SortFunc(out, func(a, b Event) int {
+		if c := cmp.Compare(a.At, b.At); c != 0 {
+			return c
 		}
-		if out[i].Node != out[j].Node {
-			return out[i].Node < out[j].Node
+		if c := cmp.Compare(a.Node, b.Node); c != 0 {
+			return c
 		}
-		return out[i].Kind < out[j].Kind
+		return cmp.Compare(a.Kind, b.Kind)
 	})
 	return out
 }

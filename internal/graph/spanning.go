@@ -1,7 +1,8 @@
 package graph
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"rmcast/internal/rng"
 )
@@ -63,12 +64,11 @@ func MSTKruskal(g *Undirected, w WeightFunc) []EdgeID {
 	for i := range ids {
 		ids[i] = EdgeID(i)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		wi, wj := w(ids[i]), w(ids[j])
-		if wi != wj {
-			return wi < wj
+	slices.SortFunc(ids, func(a, b EdgeID) int {
+		if wa, wb := w(a), w(b); wa != wb {
+			return cmp.Compare(wa, wb)
 		}
-		return ids[i] < ids[j]
+		return cmp.Compare(a, b)
 	})
 	uf := NewUnionFind(g.NumNodes())
 	tree := make([]EdgeID, 0, g.NumNodes()-1)

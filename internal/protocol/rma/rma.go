@@ -18,7 +18,8 @@
 package rma
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"rmcast/internal/core"
 	"rmcast/internal/graph"
@@ -320,7 +321,7 @@ func (e *Engine) pendingKeysFor(h graph.NodeID) []key {
 			ks = append(ks, k)
 		}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
+	slices.SortFunc(ks, func(a, b key) int { return cmp.Compare(a.seq, b.seq) })
 	return ks
 }
 

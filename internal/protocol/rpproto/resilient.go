@@ -24,8 +24,9 @@
 package rpproto
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"rmcast/internal/graph"
 )
@@ -203,6 +204,6 @@ func (e *Engine) pendingKeysFor(h graph.NodeID) []key {
 			ks = append(ks, k)
 		}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
+	slices.SortFunc(ks, func(a, b key) int { return cmp.Compare(a.seq, b.seq) })
 	return ks
 }

@@ -162,7 +162,9 @@ func (e *Engine) Attach(s *protocol.Session) {
 		e.roster = core.NewRoster(p)
 		e.strategies = e.roster.Strategies()
 	} else {
-		e.strategies = p.All()
+		// PlanAllInto reuses the map and Strategy structs if the engine
+		// is ever attached again (e.strategies is nil on first attach).
+		e.strategies = p.PlanAllInto(e.strategies)
 	}
 }
 

@@ -8,7 +8,8 @@
 package srcrec
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
@@ -182,7 +183,7 @@ func (e *Engine) keysFor(h graph.NodeID) []key {
 			ks = append(ks, k)
 		}
 	}
-	sort.Slice(ks, func(i, j int) bool { return ks[i].seq < ks[j].seq })
+	slices.SortFunc(ks, func(a, b key) int { return cmp.Compare(a.seq, b.seq) })
 	return ks
 }
 

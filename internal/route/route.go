@@ -74,6 +74,11 @@ func Build(net *topology.Network) *Tables {
 	return t
 }
 
+// Network returns the network these tables route over. The batch planner
+// uses it to verify the tables and the multicast tree describe the same
+// network before enabling the tree-aggregated fast path.
+func (t *Tables) Network() *topology.Network { return t.net }
+
 // Prepare ensures a routing table exists for destination d. It is safe to
 // call concurrently with readers and with other Prepare calls.
 func (t *Tables) Prepare(d graph.NodeID) {

@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"testing"
+
+	"rmcast/internal/rng"
+)
+
+func TestGenerateTreeShape(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 500} {
+		net, err := GenerateTree(DefaultTreeConfig(n), rng.New(uint64(n)))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(net.Clients) != n {
+			t.Fatalf("n=%d: got %d clients", n, len(net.Clients))
+		}
+		// Tree-only: every link is a tree link — the property that makes
+		// the batch planner's fast path engage unconditionally.
+		if len(net.TreeEdges) != net.NumLinks() {
+			t.Fatalf("n=%d: %d tree edges of %d links", n, len(net.TreeEdges), net.NumLinks())
+		}
+		if net.NumLinks() != net.NumNodes()-1 {
+			t.Fatalf("n=%d: %d links for %d nodes, want a tree", n, net.NumLinks(), net.NumNodes())
+		}
+	}
+}
+
+func TestGenerateTreeDeterministic(t *testing.T) {
+	a, err := GenerateTree(DefaultTreeConfig(200), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateTree(DefaultTreeConfig(200), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Delay {
+		if a.Delay[i] != b.Delay[i] {
+			t.Fatal("same seed produced different delays")
+		}
+	}
+}
+
+func TestGenerateTreeRejectsBadConfig(t *testing.T) {
+	bad := []TreeConfig{
+		{Clients: 0, ClientsPerRouter: 4, DelayMin: 1, DelayMax: 10, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 0, DelayMin: 1, DelayMax: 10, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 0, DelayMax: 10, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 5, DelayMax: 2, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 1, DelayMax: 10, AccessDelay: 0},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 1, DelayMax: 10, AccessDelay: 1, LossProb: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateTree(cfg, rng.New(1)); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
