@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race vet check bench bench-json bench-diff smoke-bench profile figures cover fuzz fuzz-short soak clean
+.PHONY: all build test test-race vet check bench bench-json bench-diff bench-parallel smoke-bench profile figures cover fuzz fuzz-short soak clean
 
 all: build vet test
 
@@ -28,8 +28,12 @@ bench:
 
 # Same pass in machine-readable form, recorded per day so the perf
 # trajectory is tracked across PRs (see EXPERIMENTS.md "Performance").
+# Three whole suite passes appended to one file (NOT -count 3, which runs
+# a benchmark's repeats back-to-back so one burst of CPU steal poisons
+# them all): bench-diff keeps each cell's minimum across samples that are
+# minutes apart, which is robust to time-correlated steal on a shared host.
 bench-json:
-	$(GO) test -run xxx -bench . -benchmem -benchtime 1x -json ./... > BENCH_$$(date +%Y-%m-%d).json
+	{ for i in 1 2 3; do $(GO) test -run xxx -bench . -benchmem -benchtime 3x -json ./...; done; } > BENCH_$$(date +%Y-%m-%d).json
 
 # Compare the two newest BENCH_*.json captures: fails when a tracked
 # benchmark (the Figure-5 macro benchmarks and the batch planner) regressed
@@ -44,11 +48,23 @@ bench-diff:
 # Cheap CI perf gate: one iteration of the n=50 macro benchmarks plus the
 # allocation-budget tests, so a perf-hostile change fails fast without
 # burning CI minutes on the full sweep. The n=1000 scaling cell also runs
-# the O(N²) scan baseline and cross-verifies the fast path against it.
+# the O(N²) scan baseline and cross-verifies the fast path against it, and
+# -simworkers adds a sharded simulation whose digest must match its serial
+# twin exactly (the sweep exits nonzero on divergence).
 smoke-bench:
 	$(GO) test -run TestAllocs -count=1 ./internal/sim
 	$(GO) test -run xxx -bench 'BenchmarkFigure5/n=50$$' -benchmem -benchtime 1x .
-	$(GO) run ./cmd/rmsim -scaling -sizes 1000
+	$(GO) run ./cmd/rmsim -scaling -sizes 1000 -simworkers 4
+
+# Wall-clock serial-vs-sharded capture for the conservative parallel engine:
+# every scaling cell runs one serial and one sharded RP simulation (digest
+# equality enforced) and records both times as JSON for EXPERIMENTS.md.
+# Override PARALLEL_SIZES / SIMWORKERS to probe other points.
+PARALLEL_SIZES ?= 1000,5000,20000,50000
+SIMWORKERS ?= 8
+bench-parallel:
+	$(GO) run ./cmd/rmsim -scaling -sizes $(PARALLEL_SIZES) -simworkers $(SIMWORKERS) -json \
+		| tee BENCH_PARALLEL_$$(date +%Y-%m-%d).json
 
 # CPU+heap profile of a representative run; inspect with `go tool pprof`.
 profile:

@@ -21,6 +21,7 @@ import (
 	"rmcast/internal/fault"
 	"rmcast/internal/mtree"
 	"rmcast/internal/protocol"
+	"rmcast/internal/rng"
 	"rmcast/internal/route"
 	"rmcast/internal/topology"
 )
@@ -462,6 +463,46 @@ func BenchmarkParallelSweep(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkParallelEngine measures the conservative parallel engine on a
+// 2000-client tree topology: one full RP run per iteration at each worker
+// count. workers=1 is the byte-untouched serial path (the regression
+// baseline benchdiff gates on); the sharded variants are bit-identical to it
+// (gated by the golden-digest tests) and should approach serial ÷
+// min(workers, shards) on a multi-core runner. On one core they measure the
+// window/barrier overhead instead, which must stay modest.
+func BenchmarkParallelEngine(b *testing.B) {
+	topo, err := topology.GenerateTree(topology.DefaultTreeConfig(2000), rng.New(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				eng, err := experiment.NewEngine("RP")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := protocol.Config{Packets: benchPackets, Interval: 50, SimWorkers: workers}
+				s, err := protocol.NewSession(topo, eng, cfg, 17)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers >= 2 && !s.ParallelEligible() {
+					b.Fatal("cell unexpectedly ineligible for sharding")
+				}
+				res := s.Run()
+				if !res.Complete || res.Stats.Unrecovered > 0 {
+					b.Fatal("incomplete parallel-engine run")
+				}
+				events = res.Events
+			}
+			b.ReportMetric(float64(events), "events/run")
 		})
 	}
 }

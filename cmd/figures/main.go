@@ -37,6 +37,8 @@ func main() {
 		interval = flag.Float64("interval", 50, "inter-packet interval (ms)")
 		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
 			"sweep worker count (1 = legacy serial loop; results are identical either way)")
+		simWorkers = flag.Int("simworkers", 0,
+			"with -fig scaling: add a serial-vs-sharded simulation phase per cell at this worker count (0 = off)")
 	)
 	flag.Parse()
 
@@ -162,6 +164,7 @@ func main() {
 	if needSc {
 		s := experiment.DefaultScaling()
 		s.BaseSeed = *seed
+		s.SimWorkers = *simWorkers
 		report, err := s.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)

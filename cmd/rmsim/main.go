@@ -57,6 +57,8 @@ func main() {
 		reps     = flag.Int("replicates", 1, "replicate seeds per chaos/adversarial cell")
 		parallel = flag.Int("parallel", experiment.DefaultParallelism(),
 			"worker count for multi-protocol runs (1 = serial; output is identical either way)")
+		simWorkers = flag.Int("simworkers", 0,
+			"shard a single run across this many workers (conservative parallel engine; 0/1 = serial, output is bit-identical either way; ineligible configs fall back to serial). With -scaling, adds a serial-vs-sharded simulation phase per cell")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -120,6 +122,7 @@ func main() {
 	if *scaling {
 		sweep := experiment.DefaultScaling()
 		sweep.BaseSeed = *simSeed
+		sweep.SimWorkers = *simWorkers
 		if *sizes != "" {
 			sweep.Sizes = nil
 			for _, s := range strings.Split(*sizes, ",") {
@@ -217,6 +220,7 @@ func main() {
 		cfg := protocol.Config{
 			Packets: *packets, Interval: *interval,
 			Jitter: *jitter, LossyRecovery: *lossyRec,
+			SimWorkers: *simWorkers,
 		}
 		if *gapDet {
 			cfg.Detection = protocol.DetectGap

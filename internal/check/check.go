@@ -75,6 +75,39 @@ func New(clients, packets int, strict bool) *Oracle {
 	return o
 }
 
+// NewShard returns an oracle for one shard of a partitioned run: identical
+// to New except that the sent vector is the caller's, shared by every
+// sibling shard (and the master that later absorbs them). Only the source's
+// shard writes it — through OnSent — and the parallel runner's window
+// barriers order every cross-shard read after the write, because a remote
+// shard can only observe seq at least one lookahead after the multicast.
+func NewShard(clients, packets int, strict bool, sent []bool) *Oracle {
+	o := New(clients, packets, strict)
+	o.sent = sent
+	return o
+}
+
+// Absorb folds a shard oracle into o: the shadow rows of the clients the
+// shard owns (disjoint across shards, so plain copies), its event counters,
+// and any violations it recorded. After absorbing every shard, o.Finish
+// checks the same global invariants a serial oracle would.
+func (o *Oracle) Absorb(sh *Oracle, owned []int) {
+	for _, ci := range owned {
+		copy(o.have[ci], sh.have[ci])
+		copy(o.detected[ci], sh.detected[ci])
+	}
+	o.losses += sh.losses
+	o.recoveries += sh.recoveries
+	o.duplicates += sh.duplicates
+	o.preDetection += sh.preDetection
+	o.deliveries += sh.deliveries
+	o.lateData += sh.lateData
+	o.malformed += sh.malformed
+	for _, v := range sh.violations {
+		o.record(v)
+	}
+}
+
 // violate reports an event-level safety violation: panic in strict mode,
 // recorded otherwise.
 func (o *Oracle) violate(format string, args ...interface{}) {

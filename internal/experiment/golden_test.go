@@ -12,50 +12,15 @@ package experiment
 // moved.
 
 import (
-	"fmt"
-	"hash/fnv"
-	"sort"
-	"strconv"
 	"testing"
 
-	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
 	"rmcast/internal/topology"
 )
 
-// digestResult folds every observable field of a run result into one FNV-1a
-// hash. Floats are formatted with strconv's shortest round-trip form, so two
-// digests match iff every float is bit-identical.
-func digestResult(res *protocol.Result) string {
-	h := fnv.New64a()
-	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
-	fmt.Fprintf(h, "proto=%s clients=%d packets=%d events=%d simtime=%s\n",
-		res.Protocol, res.Clients, res.Packets, res.Events, f(res.SimTime))
-	s := res.Stats
-	fmt.Fprintf(h, "losses=%d rec=%d unrec=%d dup=%d predet=%d data=%d late=%d crashed=%d delivered=%d malformed=%d\n",
-		s.Losses, s.Recoveries, s.Unrecovered, s.Duplicates, s.PreDetection,
-		s.DataDeliveries, s.LateData, s.UnrecoveredCrashed, s.Delivered, s.Malformed)
-	fmt.Fprintf(h, "lat n=%d mean=%s var=%s min=%s max=%s\n",
-		s.Latency.Count(), f(s.Latency.Mean()), f(s.Latency.Variance()),
-		f(s.Latency.Min()), f(s.Latency.Max()))
-	fmt.Fprintf(h, "hops=%d,%d,%d drops=%d,%d,%d\n",
-		res.Hops.Data, res.Hops.Request, res.Hops.Repair,
-		res.Drops.Data, res.Drops.Request, res.Drops.Repair)
-	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
-		fmt.Fprintf(h, "q%s=%s\n", f(q), f(res.LatencyQuantile(q)))
-	}
-	nodes := make([]int, 0, len(res.PerClientLatency))
-	for n := range res.PerClientLatency {
-		nodes = append(nodes, int(n))
-	}
-	sort.Ints(nodes)
-	for _, n := range nodes {
-		sum := res.PerClientLatency[graph.NodeID(n)]
-		fmt.Fprintf(h, "c%d n=%d mean=%s min=%s max=%s\n",
-			n, sum.Count(), f(sum.Mean()), f(sum.Min()), f(sum.Max()))
-	}
-	return fmt.Sprintf("%016x", h.Sum64())
-}
+// digestResult is ResultDigest (digest.go), kept under its historical test-
+// local name.
+func digestResult(res *protocol.Result) string { return ResultDigest(res) }
 
 // goldenDigests: captured on the pre-refactor event core (see file comment).
 // Key: protocol name + config variant.

@@ -13,6 +13,7 @@ import (
 	"rmcast/internal/core"
 	"rmcast/internal/graph"
 	"rmcast/internal/mtree"
+	"rmcast/internal/protocol"
 	"rmcast/internal/rng"
 	"rmcast/internal/route"
 	"rmcast/internal/topology"
@@ -35,6 +36,14 @@ type ScalingSweep struct {
 	ScanCutoff int
 	// BaseSeed derives each cell's topology seed.
 	BaseSeed uint64
+	// SimWorkers, when >= 2, adds a simulation phase to every cell: one
+	// serial RP packet run and one sharded run at this worker count on the
+	// same topology, wall-clocked separately, with the two result digests
+	// required to match exactly (the sweep errors on divergence — this is
+	// the determinism gate the CI smoke tier rides). 0 skips the phase.
+	SimWorkers int
+	// SimPackets sizes the simulation phase; 0 means 20.
+	SimPackets int
 }
 
 // DefaultScaling returns the standard tier: n ∈ {1k, 5k, 20k, 50k}.
@@ -74,6 +83,21 @@ type ScalingCell struct {
 	FastPath bool
 	// MeanPeers is the mean prioritized-list length across clients.
 	MeanPeers float64
+	// SimSerialMs/SimParallelMs wall-clock the simulation phase (0 when the
+	// phase is off): one RP packet run serial, one sharded at
+	// ScalingSweep.SimWorkers. SimSpeedup is their ratio. On a single-core
+	// host the sharded run measures coordination overhead, not speedup —
+	// the digest equality is the load-bearing result either way.
+	SimSerialMs   float64
+	SimParallelMs float64
+	SimSpeedup    float64
+	// SimSharded reports that the parallel run was genuinely eligible for
+	// sharding (false means it fell back to serial, making the comparison
+	// vacuous).
+	SimSharded bool
+	// SimDigest is the shared digest of the two runs (they are required to
+	// be identical).
+	SimDigest string
 }
 
 // ScalingReport is the sweep result with the harness's usual renderings.
@@ -171,32 +195,97 @@ func (s ScalingSweep) runCell(n int, seed uint64, withScan bool) (ScalingCell, e
 		}
 		cell.Verified = true
 	}
+
+	if s.SimWorkers >= 2 {
+		if err := s.simPhase(&cell, net, rt, seed); err != nil {
+			return cell, err
+		}
+	}
 	return cell, nil
+}
+
+// simPhase runs the cell's topology through one serial and one sharded RP
+// packet simulation and records wall clocks plus the digest-equality check.
+// Any digest mismatch is an error, not a column: a sharded run that is not
+// byte-identical to its serial twin is wrong, whatever its speed.
+func (s ScalingSweep) simPhase(cell *ScalingCell, net *topology.Network, rt route.Router, seed uint64) error {
+	packets := s.SimPackets
+	if packets == 0 {
+		packets = 20
+	}
+	run := func(workers int) (*protocol.Result, float64, bool, error) {
+		eng, err := NewEngine("RP")
+		if err != nil {
+			return nil, 0, false, err
+		}
+		cfg := protocol.Config{Packets: packets, Interval: 50, SimWorkers: workers}
+		sess, err := protocol.NewSessionWithRouter(net, eng, cfg, seed, rt)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		sharded := workers >= 2 && sess.ParallelEligible()
+		start := time.Now()
+		res := sess.Run()
+		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		if !res.Complete {
+			return nil, 0, false, fmt.Errorf("sim phase (workers=%d): incomplete run", workers)
+		}
+		return res, ms, sharded, nil
+	}
+	serial, serialMs, _, err := run(0)
+	if err != nil {
+		return err
+	}
+	parallel, parallelMs, sharded, err := run(s.SimWorkers)
+	if err != nil {
+		return err
+	}
+	sd, pd := ResultDigest(serial), ResultDigest(parallel)
+	if sd != pd {
+		return fmt.Errorf("sim phase: parallel digest %s diverged from serial %s (workers=%d)",
+			pd, sd, s.SimWorkers)
+	}
+	cell.SimSerialMs = serialMs
+	cell.SimParallelMs = parallelMs
+	if parallelMs > 0 {
+		cell.SimSpeedup = serialMs / parallelMs
+	}
+	cell.SimSharded = sharded
+	cell.SimDigest = sd
+	return nil
 }
 
 // Format renders the report as an aligned table.
 func (r ScalingReport) Format(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "clients\tnodes\tdepth\tbuild(ms)\tplan(ms)\treplan(ms)\tscan(ms)\tspeedup\tplan allocs\treplan allocs\tpeers/client\tfast\tverified")
+	fmt.Fprintln(tw, "clients\tnodes\tdepth\tbuild(ms)\tplan(ms)\treplan(ms)\tscan(ms)\tspeedup\tplan allocs\treplan allocs\tpeers/client\tfast\tverified\tsim serial(ms)\tsim parallel(ms)\tsim speedup\tsharded")
 	for _, c := range r {
 		scan, speedup := "-", "-"
 		if c.ScanMs > 0 {
 			scan = fmt.Sprintf("%.1f", c.ScanMs)
 			speedup = fmt.Sprintf("%.0f×", c.Speedup)
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%s\t%s\t%d\t%d\t%.2f\t%v\t%v\n",
+		simSerial, simParallel, simSpeedup, sharded := "-", "-", "-", "-"
+		if c.SimSerialMs > 0 {
+			simSerial = fmt.Sprintf("%.1f", c.SimSerialMs)
+			simParallel = fmt.Sprintf("%.1f", c.SimParallelMs)
+			simSpeedup = fmt.Sprintf("%.2f×", c.SimSpeedup)
+			sharded = fmt.Sprintf("%v", c.SimSharded)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%s\t%s\t%d\t%d\t%.2f\t%v\t%v\t%s\t%s\t%s\t%s\n",
 			c.Clients, c.Nodes, c.TreeDepth, c.BuildMs, c.PlanMs, c.ReplanMs,
-			scan, speedup, c.PlanAllocs, c.ReplanAllocs, c.MeanPeers, c.FastPath, c.Verified)
+			scan, speedup, c.PlanAllocs, c.ReplanAllocs, c.MeanPeers, c.FastPath, c.Verified,
+			simSerial, simParallel, simSpeedup, sharded)
 	}
 	return tw.Flush()
 }
 
 // Markdown renders the report as a GitHub table for EXPERIMENTS.md.
 func (r ScalingReport) Markdown(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "| clients | nodes | depth | build (ms) | plan (ms) | replan (ms) | scan (ms) | speedup | replan allocs |"); err != nil {
+	if _, err := fmt.Fprintln(w, "| clients | nodes | depth | build (ms) | plan (ms) | replan (ms) | scan (ms) | speedup | replan allocs | sim serial (ms) | sim parallel (ms) | sim speedup |"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
+	if _, err := fmt.Fprintln(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
 		return err
 	}
 	for _, c := range r {
@@ -205,9 +294,15 @@ func (r ScalingReport) Markdown(w io.Writer) error {
 			scan = fmt.Sprintf("%.1f", c.ScanMs)
 			speedup = fmt.Sprintf("%.0f×", c.Speedup)
 		}
-		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %.1f | %.2f | %.2f | %s | %s | %d |\n",
+		simSerial, simParallel, simSpeedup := "—", "—", "—"
+		if c.SimSerialMs > 0 {
+			simSerial = fmt.Sprintf("%.1f", c.SimSerialMs)
+			simParallel = fmt.Sprintf("%.1f", c.SimParallelMs)
+			simSpeedup = fmt.Sprintf("%.2f×", c.SimSpeedup)
+		}
+		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %.1f | %.2f | %.2f | %s | %s | %d | %s | %s | %s |\n",
 			c.Clients, c.Nodes, c.TreeDepth, c.BuildMs, c.PlanMs, c.ReplanMs,
-			scan, speedup, c.ReplanAllocs); err != nil {
+			scan, speedup, c.ReplanAllocs, simSerial, simParallel, simSpeedup); err != nil {
 			return err
 		}
 	}
@@ -219,7 +314,8 @@ func (r ScalingReport) CSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{"clients", "nodes", "depth", "build_ms", "plan_ms",
 		"replan_ms", "scan_ms", "speedup", "plan_allocs", "replan_allocs",
-		"mean_peers", "fast_path", "verified"}); err != nil {
+		"mean_peers", "fast_path", "verified",
+		"sim_serial_ms", "sim_parallel_ms", "sim_speedup", "sim_sharded", "sim_digest"}); err != nil {
 		return err
 	}
 	for _, c := range r {
@@ -236,6 +332,11 @@ func (r ScalingReport) CSV(w io.Writer) error {
 			strconv.FormatFloat(c.MeanPeers, 'f', 3, 64),
 			strconv.FormatBool(c.FastPath),
 			strconv.FormatBool(c.Verified),
+			strconv.FormatFloat(c.SimSerialMs, 'f', 3, 64),
+			strconv.FormatFloat(c.SimParallelMs, 'f', 3, 64),
+			strconv.FormatFloat(c.SimSpeedup, 'f', 2, 64),
+			strconv.FormatBool(c.SimSharded),
+			c.SimDigest,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

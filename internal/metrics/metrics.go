@@ -146,6 +146,24 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 // OutOfRange returns the underflow and overflow counts.
 func (h *Histogram) OutOfRange() (under, over int64) { return h.under, h.over }
 
+// Merge folds another histogram of identical shape into h. Bucket counts
+// are integers, so unlike Summary.Merge the result is exactly the histogram
+// a single accumulator would have produced in any observation order.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	if h.Lo != o.Lo || h.Hi != o.Hi || len(h.buckets) != len(o.buckets) {
+		panic("metrics: merging differently-shaped histograms")
+	}
+	for i, c := range o.buckets {
+		h.buckets[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.n += o.n
+}
+
 // Quantile estimates the p-quantile (0 ≤ p ≤ 1) by interpolating within
 // buckets. Returns Lo−1 if the quantile falls in the underflow region and
 // Hi+1 for the overflow region; 0 when empty.

@@ -142,6 +142,15 @@ type Config struct {
 	PacketTime float64
 	// MaxEvents aborts runaway runs; 0 means the package default (50M).
 	MaxEvents uint64
+	// SimWorkers, when ≥ 2, requests the conservative parallel engine: the
+	// tree is partitioned into shards, each simulated on its own event
+	// engine, synchronised on lookahead-wide safe-time windows (see
+	// parallel.go). Results are bit-identical to serial. Configurations the
+	// parallel mode cannot reproduce exactly (queueing, jitter, lossy
+	// recovery, non-ideal detection, burst/mutation faults, tracing, or an
+	// engine without shard support) silently fall back to the serial path,
+	// so any worker count is always safe. 0 or 1 means serial.
+	SimWorkers int
 	// Check selects the runtime invariant oracle's mode (default: strict —
 	// see CheckMode). The oracle shadows the session's per-(client, seq)
 	// state machine event by event; it draws no randomness and never
@@ -178,6 +187,9 @@ type Session struct {
 
 	cfg    Config
 	engine Engine
+	// seed is the session's root seed, kept so the parallel runner can
+	// re-derive the serial run's exact rng stream layout per shard.
+	seed uint64
 
 	// Trace, when set before Run, receives structured events for every
 	// send, delivery, drop, detection, and recovery.
@@ -199,6 +211,19 @@ type Session struct {
 	// numNodes caches the topology size for per-packet header validation.
 	oracle   *check.Oracle
 	numNodes int
+
+	// latLog, when enabled, records every recovery-latency observation with
+	// its event time. Welford's update is order-dependent, so the parallel
+	// runner replays the per-shard logs in global time order to reproduce
+	// the serial Stats.Latency bit-for-bit (see parallel.go). Off — and
+	// costless — in serial runs.
+	latLogOn bool
+	latLog   []latSample
+}
+
+// latSample is one recovery-latency observation stamped with its event time.
+type latSample struct {
+	at, lat float64
 }
 
 // Stats aggregates the per-run outcome counters.
@@ -383,6 +408,7 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 		Rand:      protoRand,
 		cfg:       cfg,
 		engine:    engine,
+		seed:      seed,
 		clientIdx: make(map[graph.NodeID]int, len(topo.Clients)),
 		received:  make([][]bool, len(topo.Clients)),
 		detectAt:  make([][]float64, len(topo.Clients)),
@@ -534,10 +560,7 @@ func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
 			default:
 				s.received[idx][pkt.Seq] = true
 				s.stats.Recoveries++
-				lat := s.Eng.Now() - s.detectAt[idx][pkt.Seq]
-				s.stats.Latency.Add(lat)
-				s.latHist.Add(lat)
-				s.perClient[idx].Add(lat)
+				s.recordLatency(idx, s.Eng.Now()-s.detectAt[idx][pkt.Seq])
 				s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
 					Node: int32(host), Peer: int32(pkt.From), Seq: pkt.Seq})
 			}
@@ -657,13 +680,21 @@ func (s *Session) RecoverLocal(c graph.NodeID, seq int) bool {
 		return true
 	}
 	s.stats.Recoveries++
-	lat := s.Eng.Now() - s.detectAt[idx][seq]
-	s.stats.Latency.Add(lat)
-	s.latHist.Add(lat)
-	s.perClient[idx].Add(lat)
+	s.recordLatency(idx, s.Eng.Now()-s.detectAt[idx][seq])
 	s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
 		Node: int32(c), Peer: int32(c), Seq: seq})
 	return true
+}
+
+// recordLatency folds one recovery latency into every accumulator, logging
+// it when the parallel runner needs an order-independent record.
+func (s *Session) recordLatency(idx int, lat float64) {
+	s.stats.Latency.Add(lat)
+	s.latHist.Add(lat)
+	s.perClient[idx].Add(lat)
+	if s.latLogOn {
+		s.latLog = append(s.latLog, latSample{at: s.Eng.Now(), lat: lat})
+	}
 }
 
 // NoteMalformed counts one rejected malformed packet. The session calls it
@@ -678,6 +709,9 @@ func (s *Session) NoteMalformed() {
 
 // Run executes the whole session and returns the result.
 func (s *Session) Run() *Result {
+	if res := s.runSharded(); res != nil {
+		return res
+	}
 	if s.Trace != nil {
 		s.Net.OnSend = func(pkt sim.Packet) {
 			var k trace.Kind

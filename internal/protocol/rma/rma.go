@@ -60,6 +60,11 @@ type Engine struct {
 	repaired map[key]repairMark
 	// diameter bounds how long an in-flight repair can take to arrive.
 	diameter float64
+	// sharedChain/sharedDiameter, when set, are a parent engine's plans
+	// adopted verbatim by Attach (shard clones of a partitioned run); the
+	// chains are read-only at run time.
+	sharedChain    map[graph.NodeID][]core.Candidate
+	sharedDiameter float64
 	// served suppresses duplicated requests: a repeat of (requester, seq)
 	// within half the requester's retry timeout is a message-plane
 	// duplicate, not a walk advance, and is dropped unanswered.
@@ -117,9 +122,24 @@ func (e *Engine) timeout() core.TimeoutPolicy {
 	return e.opt.Timeout
 }
 
+// CloneForShard implements protocol.ShardCloner: a fresh engine with the
+// same options that adopts this (attached) engine's receiver chains and
+// diameter — both read-only at run time — instead of recomputing them.
+func (e *Engine) CloneForShard() protocol.Engine {
+	cl := New(e.opt)
+	cl.sharedChain = e.chain
+	cl.sharedDiameter = e.diameter
+	return cl
+}
+
 // Attach precomputes every client's upstream receiver chain.
 func (e *Engine) Attach(s *protocol.Session) {
 	e.s = s
+	if e.sharedChain != nil {
+		e.chain = e.sharedChain
+		e.diameter = e.sharedDiameter
+		return
+	}
 	p := core.NewPlanner(s.Tree, s.Routes)
 	p.Timeout = e.opt.Timeout
 	e.chain = make(map[graph.NodeID][]core.Candidate, len(s.Clients()))

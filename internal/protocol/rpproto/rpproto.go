@@ -74,7 +74,11 @@ type Engine struct {
 	opt        Options
 	s          *protocol.Session
 	strategies map[graph.NodeID]*core.Strategy
-	pending    map[key]*attempt
+	// sharedPlans, when non-nil, is a parent engine's strategy map adopted
+	// verbatim by Attach — shard clones of a partitioned run skip
+	// replanning and must never mutate the shared structs.
+	sharedPlans map[graph.NodeID]*core.Strategy
+	pending     map[key]*attempt
 	// lastSubRepair records the send time of the latest subgroup repair
 	// multicast per (seq, subgroup root), for source-side suppression.
 	lastSubRepair map[key]float64
@@ -145,9 +149,27 @@ func (e *Engine) Name() string {
 	return "RP"
 }
 
+// CloneForShard implements protocol.ShardCloner: a fresh engine with the
+// same options that adopts this (attached) engine's computed strategies
+// instead of replanning — the plans are read-only at run time, so shard
+// clones share them. The resilience layer is not shardable: its failure
+// detector replans into a shared roster at run time.
+func (e *Engine) CloneForShard() protocol.Engine {
+	if e.opt.Resilience.Enabled {
+		return nil
+	}
+	cl := New(e.opt)
+	cl.sharedPlans = e.strategies
+	return cl
+}
+
 // Attach computes the strategies for every client with the core planner.
 func (e *Engine) Attach(s *protocol.Session) {
 	e.s = s
+	if e.sharedPlans != nil {
+		e.strategies = e.sharedPlans
+		return
+	}
 	p := core.NewPlanner(s.Tree, s.Routes)
 	p.Timeout = e.opt.Timeout
 	p.AllowDirectSource = e.opt.AllowDirectSource

@@ -74,6 +74,10 @@ func (e *Engine) Name() string { return "SRC" }
 // Attach implements protocol.Engine.
 func (e *Engine) Attach(s *protocol.Session) { e.s = s }
 
+// CloneForShard implements protocol.ShardCloner: the engine has no
+// precomputed plans, so a shard clone is simply a fresh engine.
+func (e *Engine) CloneForShard() protocol.Engine { return New(e.opt) }
+
 // OnDetect implements protocol.Engine. Monotonic guard: a packet the client
 // already holds never (re-)enters pending, whatever duplicated or reordered
 // signal suggested it.

@@ -274,6 +274,28 @@ func (e *Engine) RunUntil(t float64) {
 	}
 }
 
+// RunBefore executes events with timestamps strictly below t and returns how
+// many fired. Unlike RunUntil the clock is left at the last executed event,
+// not advanced to t: the conservative parallel runner calls this per window,
+// and a shard must still accept remote deliveries stamped between its last
+// local event and the horizon.
+func (e *Engine) RunBefore(t float64) uint64 {
+	start := e.processed
+	for len(e.pq) > 0 && e.pq[0].at < t {
+		e.Step()
+	}
+	return e.processed - start
+}
+
+// NextEventAt returns the timestamp of the earliest pending event; ok is
+// false when the calendar is empty.
+func (e *Engine) NextEventAt() (at float64, ok bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].at, true
+}
+
 // Timer slot states. A slot is freed (pushed on timerFree) when its
 // calendar event pops; until the slot is re-armed, stale handles still read
 // their fired/stopped outcome; after re-arming, the bumped generation makes

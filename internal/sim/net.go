@@ -128,6 +128,15 @@ type Net struct {
 	mut *fault.Mutator
 	// treeAdj is adjacency restricted to tree links, for flood traversal.
 	treeAdj [][]graph.Half
+
+	// Sharded-mode state (see shard.go; all nil/zero in serial runs).
+	// shardOf is the shared node→shard map of the partition, shardID this
+	// net's own shard, hostsShared the shared handler-bearing node set, and
+	// outbox the cross-shard deliveries produced by the current window.
+	shardOf     []int32
+	shardID     int32
+	hostsShared []bool
+	outbox      []RemoteDelivery
 	// floodStack is reused scratch for the precomputed-path flood walks
 	// (floodFrom, subtreeFlood). Safe to share: those walks only schedule
 	// deliveries, so no handler — and no nested flood — runs inside them.
@@ -177,20 +186,24 @@ func (n *Net) InstallFault(st *fault.State) {
 	n.Fault = st
 	n.mut = st.Mutator()
 	for _, e := range st.HostEvents() {
-		e := e
-		n.Eng.Schedule(e.At, func() {
-			switch e.Kind {
-			case fault.CrashHost:
-				if n.OnCrash != nil {
-					n.OnCrash(e.Node)
-				}
-			case fault.RecoverHost:
-				if n.OnRecover != nil {
-					n.OnRecover(e.Node)
-				}
-			}
-		})
+		n.scheduleHostEvent(e)
 	}
+}
+
+// scheduleHostEvent schedules one host crash/recover transition.
+func (n *Net) scheduleHostEvent(e fault.Event) {
+	n.Eng.Schedule(e.At, func() {
+		switch e.Kind {
+		case fault.CrashHost:
+			if n.OnCrash != nil {
+				n.OnCrash(e.Node)
+			}
+		case fault.RecoverHost:
+			if n.OnRecover != nil {
+				n.OnRecover(e.Node)
+			}
+		}
+	})
 }
 
 // senderDown reports whether the packet's origin host is crashed right now,
@@ -213,10 +226,19 @@ func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
 }
 
 // deliverAt is the mutation-free delivery: crash check, then schedule a
-// pooled wDeliver walker (no per-delivery closure).
+// pooled wDeliver walker (no per-delivery closure). In sharded mode a
+// delivery to a host another shard owns goes to the outbox instead — the
+// arrival time is final here, and the crash check against the shared fault
+// state gives the same verdict the owner would compute.
 func (n *Net) deliverAt(node graph.NodeID, at float64, pkt Packet) {
 	if n.Fault != nil && !n.Fault.HostUpAt(node, at) {
 		return
+	}
+	if n.shardOf != nil {
+		if dst := n.shardOf[node]; dst != n.shardID {
+			n.outbox = append(n.outbox, RemoteDelivery{At: at, Node: node, Dst: dst, Pkt: pkt})
+			return
+		}
 	}
 	if n.handlers[node] == nil {
 		return
@@ -400,7 +422,7 @@ func (n *Net) floodFrom(cur, prev graph.NodeID, acc float64, pkt Packet) {
 			if !n.crossLink(h.Edge, start, pkt) {
 				continue // prune the subtree behind the lossy link
 			}
-			if n.handlers[h.Peer] != nil {
+			if n.hasHost(h.Peer) {
 				n.deliver(h.Peer, n.Eng.Now()+d, pkt)
 			}
 			stack = append(stack, floodFrame{h.Peer, f.node, d})
@@ -442,7 +464,7 @@ func (n *Net) MulticastSubtree(meet graph.NodeID, pkt Packet) {
 		cur = n.Tree.Parent[cur]
 	}
 	// Deliver to meet itself if it is a host (it normally is a router).
-	if n.handlers[meet] != nil {
+	if n.hasHost(meet) {
 		n.deliver(meet, n.Eng.Now()+acc, pkt)
 	}
 	// Flood downward, excluding the uplink we came from (upward direction
@@ -463,7 +485,7 @@ func (n *Net) subtreeFlood(root graph.NodeID, acc float64, pkt Packet) {
 			if !n.crossLink(link, start, pkt) {
 				continue
 			}
-			if n.handlers[c] != nil {
+			if n.hasHost(c) {
 				n.deliver(c, n.Eng.Now()+d, pkt)
 			}
 			stack = append(stack, floodFrame{node: c, acc: d})
@@ -509,7 +531,7 @@ func (n *Net) MulticastDescend(sub graph.NodeID, pkt Packet) {
 			return
 		}
 	}
-	if n.handlers[sub] != nil {
+	if n.hasHost(sub) {
 		n.deliver(sub, n.Eng.Now()+acc, pkt)
 	}
 	n.subtreeFlood(sub, acc, pkt)

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"rmcast/internal/fault"
+	"rmcast/internal/graph"
+)
+
+// RemoteDelivery is one packet delivery bound for a host owned by another
+// shard of a partitioned run. The sending shard computes the arrival time
+// (the whole path walk executes on its own engine) and parks the delivery in
+// its outbox; the coordinator hands it to the owning shard at the next
+// window boundary. At is always at least the sending event's time plus the
+// partition lookahead — every cross-shard path crosses at least one cut
+// link — which is what makes the window protocol conservative.
+type RemoteDelivery struct {
+	At   float64
+	Node graph.NodeID
+	Dst  int32
+	Pkt  Packet
+}
+
+// EnableShard puts the net into sharded mode: this net simulates shard id of
+// the partition described by shardOf, and hosts marks every node (across all
+// shards) that has a handler somewhere. shardOf and hosts are shared
+// read-only across shards.
+func (n *Net) EnableShard(id int32, shardOf []int32, hosts []bool) {
+	n.shardID = id
+	n.shardOf = shardOf
+	n.hostsShared = hosts
+}
+
+// Outbox returns the cross-shard deliveries accumulated since the last
+// ResetOutbox, in production order.
+func (n *Net) Outbox() []RemoteDelivery { return n.outbox }
+
+// ResetOutbox clears the outbox, keeping its capacity.
+func (n *Net) ResetOutbox() { n.outbox = n.outbox[:0] }
+
+// InjectRemote schedules a delivery computed by another shard. The crash
+// check already ran on the sending shard (against the shared fault state, so
+// the answer is identical), leaving only the handler upcall.
+func (n *Net) InjectRemote(at float64, node graph.NodeID, pkt Packet) {
+	w := n.Eng.getWalker()
+	w.op, w.n, w.pkt, w.node = wDeliver, n, pkt, node
+	n.Eng.scheduleWalker(at, w)
+}
+
+// hasHost reports whether node hosts a handler anywhere in the run — the
+// delivery condition of the flood walks. Serial nets answer from their own
+// handler table; sharded nets consult the shared host set, so a flood
+// executing on one shard still produces deliveries for hosts owned by
+// another (deliverAt then routes them through the outbox).
+func (n *Net) hasHost(node graph.NodeID) bool {
+	if n.shardOf != nil {
+		return n.hostsShared[node]
+	}
+	return n.handlers[node] != nil
+}
+
+// InstallFaultShared attaches a fault state shared by every shard of a
+// partitioned run. The state's window lookups are pure, so sharing is safe;
+// each shard schedules the crash/recover transition events only for hosts it
+// owns, so across shards every hook fires exactly once, at the same instants
+// as a serial run.
+func (n *Net) InstallFaultShared(st *fault.State) {
+	n.Fault = st
+	n.mut = st.Mutator()
+	for _, e := range st.HostEvents() {
+		if n.shardOf[e.Node] != n.shardID {
+			continue
+		}
+		n.scheduleHostEvent(e)
+	}
+}
