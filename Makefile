@@ -54,6 +54,7 @@ bench-diff:
 smoke-bench:
 	$(GO) test -run TestAllocs -count=1 ./internal/sim
 	$(GO) test -run xxx -bench 'BenchmarkFigure5/n=50$$' -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkCoopRecovery/n=100/chaos' -benchmem -benchtime 1x .
 	$(GO) run ./cmd/rmsim -scaling -sizes 1000 -simworkers 4
 
 # Wall-clock serial-vs-sharded capture for the conservative parallel engine:
@@ -91,6 +92,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzCondLossProb -fuzztime 5s ./internal/core
 	$(GO) test -fuzz FuzzSchedule -fuzztime 5s ./internal/fault
 	$(GO) test -fuzz FuzzMutator -fuzztime 5s ./internal/experiment
+	$(GO) test -fuzz FuzzCoopDecode -fuzztime 5s ./internal/protocol/coop
 
 # Long-haul adversarial soak: the full default mutation sweep at production
 # scale plus max-intensity mutation layered over mid-severity chaos, strict

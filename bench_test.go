@@ -220,6 +220,34 @@ func BenchmarkEstimationNoise(b *testing.B) {
 	}
 }
 
+// BenchmarkCoopRecovery measures the cooperative coded repair engine end
+// to end on its home turf: the n=100 cell under plain random loss, and the
+// same cell under a mid-severity chaos schedule (crashes, link outages,
+// burst loss) — the regime the block-coded peer relay exists for. Tracked
+// by benchdiff (cmd/benchdiff -track).
+func BenchmarkCoopRecovery(b *testing.B) {
+	plain := experiment.RunSpec{
+		Routers: 100, Loss: 0.05, Protocol: "COOP",
+		Packets: benchPackets, Interval: 50,
+		TopoSeed: 2103, SimSeed: 1,
+	}
+	b.Run("n=100/plain", func(b *testing.B) {
+		b.ReportAllocs()
+		benchCell(b, plain)
+	})
+	chaos := plain
+	chaos.Chaos = &fault.ChaosParams{
+		CrashRate: 0.15, PermanentFrac: 0.3, LinkDownRate: 0.1,
+		BurstSeverity: 0.5, BaseLoss: 0.05,
+		Span: float64(benchPackets) * 50,
+	}
+	chaos.FaultSeed = 0xc4a05
+	b.Run("n=100/chaos", func(b *testing.B) {
+		b.ReportAllocs()
+		benchCell(b, chaos)
+	})
+}
+
 // BenchmarkDetectionModes compares idealised loss detection against
 // realistic sequence-gap detection (protocol.DetectGap) for RP.
 func BenchmarkDetectionModes(b *testing.B) {

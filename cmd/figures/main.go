@@ -13,6 +13,11 @@
 // Sweeps fan out over -parallel workers (default: one per CPU); every cell
 // is independently seeded, so the output is bit-identical at any worker
 // count.
+//
+// The robustness sweeps (-fig chaos, -fig adversarial) compare the paper's
+// engines against the hardened variants, including the cooperative coded
+// repair engine COOP (internal/protocol/coop) with its symbol-plane
+// mutation class.
 package main
 
 import (

@@ -47,9 +47,9 @@ func main() {
 		lossyRec = flag.Bool("lossyrecovery", false, "subject recovery traffic to link loss")
 		asJSON   = flag.Bool("json", false, "emit per-protocol results as JSON")
 		chaos    = flag.Bool("chaos", false,
-			"run the fault-injection (chaos) sweep instead of a single run: crashes, link outages and burst loss rising with severity, RP vs SRM vs RMA vs RP-RESILIENT")
+			"run the fault-injection (chaos) sweep instead of a single run: crashes, link outages and burst loss rising with severity, RP vs SRM vs RMA vs RP-RESILIENT vs COOP")
 		adversarial = flag.Bool("adversarial", false,
-			"run the adversarial message-plane sweep instead of a single run: control-packet duplication, reordering, corruption and repair storms rising with intensity, SRM vs RMA vs RP vs SRC")
+			"run the adversarial message-plane sweep instead of a single run: control-packet duplication, reordering, corruption and repair storms rising with intensity, SRM vs RMA vs RP vs SRC vs COOP")
 		scaling = flag.Bool("scaling", false,
 			"run the large-n planning scaling tier instead of a simulation: tree-aggregated batch planner vs the O(N²) scan on tree-only topologies")
 		sizes = flag.String("sizes", "",
@@ -98,6 +98,7 @@ func main() {
 			fmt.Println(p)
 		}
 		fmt.Println("RP-RESILIENT")
+		fmt.Println("COOP")
 		return
 	}
 

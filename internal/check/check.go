@@ -24,9 +24,21 @@
 // returned as a violation list instead — some callers run sessions that
 // violate liveness on purpose (e.g. a null engine that never repairs) and
 // assert on the classified outcome.
+// The coded-recovery mode (EnableCoded) extends the shadow machine for
+// engines that repair by erasure coding rather than per-seq retransmission:
+// a detected gap may then be closed by *any* sufficient set of symbols, so
+// the oracle additionally tracks, per (client, block), the set of distinct
+// coded symbols held, and admits a decode event only when the block's
+// symbol rank — data packets held plus distinct coded symbols — reaches the
+// block length. A decode below rank, a double decode, an out-of-range
+// symbol index, or a duplicate-verdict mismatch between session and oracle
+// are safety violations like any other.
 package check
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // maxViolations bounds the recorded list; a broken run repeats itself.
 const maxViolations = 64
@@ -39,6 +51,19 @@ type Totals struct {
 	Delivered, Unrecovered, UnrecoveredCrashed   int64
 	DataHops, RequestHops, RepairHops            int64
 	DataDrops, RequestDrops, RepairDrops         int64
+	// CodedSymbols / CodedDuplicates are only cross-checked in coded-
+	// recovery mode (EnableCoded): distinct coded symbols credited, and
+	// redundant copies absorbed idempotently.
+	CodedSymbols, CodedDuplicates int64
+}
+
+// codedState is the coded-recovery extension: per (client, block) the set
+// of distinct coded symbols held (a bitmask — R ≤ 64 by construction) and
+// whether the block has been decoded.
+type codedState struct {
+	k, r, blocks int
+	seen         [][]uint64 // [clientIdx][block] coded-index bitmask
+	decoded      [][]bool
 }
 
 // Oracle is the shadow state machine for one run. Hooks are O(1); the
@@ -53,6 +78,9 @@ type Oracle struct {
 
 	losses, recoveries, duplicates, preDetection int64
 	deliveries, lateData, malformed              int64
+
+	coded                  *codedState
+	codedSymbols, codedDup int64
 
 	violations []string
 }
@@ -103,9 +131,133 @@ func (o *Oracle) Absorb(sh *Oracle, owned []int) {
 	o.deliveries += sh.deliveries
 	o.lateData += sh.lateData
 	o.malformed += sh.malformed
+	if sh.coded != nil {
+		// Shards enable coded mode when their engine clone attaches; the
+		// master inherits the configuration from the first coded shard.
+		if o.coded == nil {
+			o.EnableCoded(sh.coded.k, sh.coded.r)
+		}
+		for _, ci := range owned {
+			copy(o.coded.seen[ci], sh.coded.seen[ci])
+			copy(o.coded.decoded[ci], sh.coded.decoded[ci])
+		}
+		o.codedSymbols += sh.codedSymbols
+		o.codedDup += sh.codedDup
+	}
 	for _, v := range sh.violations {
 		o.record(v)
 	}
+}
+
+// EnableCoded switches the oracle into coded-recovery mode for blocks of k
+// data packets protected by r coded symbols (both in [1, 64]). Idempotent
+// for identical parameters; changing parameters mid-run is a violation.
+func (o *Oracle) EnableCoded(k, r int) {
+	if o.coded != nil {
+		if o.coded.k != k || o.coded.r != r {
+			o.violate("coded: reconfigured mid-run (k %d→%d, r %d→%d)",
+				o.coded.k, k, o.coded.r, r)
+		}
+		return
+	}
+	if k < 1 || k > 64 || r < 1 || r > 64 {
+		o.violate("coded: parameters out of range (k=%d, r=%d)", k, r)
+		return
+	}
+	blocks := (o.packets + k - 1) / k
+	if blocks < 1 {
+		blocks = 1
+	}
+	c := &codedState{
+		k: k, r: r, blocks: blocks,
+		seen:    make([][]uint64, len(o.have)),
+		decoded: make([][]bool, len(o.have)),
+	}
+	for i := range c.seen {
+		c.seen[i] = make([]uint64, blocks)
+		c.decoded[i] = make([]bool, blocks)
+	}
+	o.coded = c
+}
+
+// blockLen returns the number of data sequences in block b (the tail block
+// may be short).
+func (c *codedState) blockLen(b, packets int) int {
+	lo := b * c.k
+	hi := lo + c.k
+	if hi > packets {
+		hi = packets
+	}
+	return hi - lo
+}
+
+// OnSymbol observes the arrival of coded symbol idx (the coded offset, in
+// [0, r)) of block at client ci; dup is the session's verdict on whether
+// the symbol was already held, shadow-checked against the oracle's own set.
+func (o *Oracle) OnSymbol(ci, block, idx int, dup bool) {
+	if o.coded == nil {
+		o.violate("symbol: coded-recovery mode not enabled")
+		return
+	}
+	if ci < 0 || ci >= len(o.have) || block < 0 || block >= o.coded.blocks {
+		o.violate("symbol: out-of-range client %d block %d", ci, block)
+		return
+	}
+	if idx < 0 || idx >= o.coded.r {
+		o.violate("symbol: client %d block %d: coded index %d outside [0,%d)",
+			ci, block, idx, o.coded.r)
+		return
+	}
+	bit := uint64(1) << uint(idx)
+	held := o.coded.seen[ci][block]&bit != 0
+	if held != dup {
+		o.violate("symbol: client %d block %d index %d: session dup=%v, oracle dup=%v",
+			ci, block, idx, dup, held)
+	}
+	if held {
+		o.codedDup++
+		return
+	}
+	o.coded.seen[ci][block] |= bit
+	o.codedSymbols++
+}
+
+// OnDecode observes client ci decoding block: admissible only once per
+// (client, block), and only when the block's symbol rank — data packets
+// held plus distinct coded symbols — covers the block length. The session
+// recovers the missing sequences immediately afterwards through
+// OnLocalRecover, so rank is evaluated on the pre-decode state.
+func (o *Oracle) OnDecode(ci, block int) {
+	if o.coded == nil {
+		o.violate("decode: coded-recovery mode not enabled")
+		return
+	}
+	if ci < 0 || ci >= len(o.have) || block < 0 || block >= o.coded.blocks {
+		o.violate("decode: out-of-range client %d block %d", ci, block)
+		return
+	}
+	if o.coded.decoded[ci][block] {
+		o.violate("decode: client %d decoded block %d twice", ci, block)
+		return
+	}
+	bl := o.coded.blockLen(block, o.packets)
+	rank := bits.OnesCount64(o.coded.seen[ci][block])
+	if rank > o.coded.r {
+		o.violate("decode: client %d block %d: %d coded symbols exceed r=%d",
+			ci, block, rank, o.coded.r)
+	}
+	lo := block * o.coded.k
+	for s := 0; s < bl; s++ {
+		if o.have[ci][lo+s] {
+			rank++
+		}
+	}
+	if rank < bl {
+		o.violate("decode: client %d block %d: rank %d below block length %d",
+			ci, block, rank, bl)
+		return
+	}
+	o.coded.decoded[ci][block] = true
 }
 
 // violate reports an event-level safety violation: panic in strict mode,
@@ -281,6 +433,27 @@ func (o *Oracle) Finish(complete bool, down []bool, t Totals) []string {
 	cmp("data deliveries", o.deliveries, t.DataDeliveries)
 	cmp("late data", o.lateData, t.LateData)
 	cmp("malformed", o.malformed, t.Malformed)
+	if o.coded != nil {
+		cmp("coded symbols", o.codedSymbols, t.CodedSymbols)
+		cmp("coded duplicates", o.codedDup, t.CodedDuplicates)
+		// A decoded block is a delivered block: the decode recovered every
+		// missing sequence, so no decoded (client, block) may leave a gap.
+		for ci := range o.coded.decoded {
+			for b, dec := range o.coded.decoded[ci] {
+				if !dec {
+					continue
+				}
+				lo := b * o.coded.k
+				for s := 0; s < o.coded.blockLen(b, o.packets); s++ {
+					if !o.have[ci][lo+s] {
+						o.record(fmt.Sprintf(
+							"coded: client %d decoded block %d but lacks seq %d",
+							ci, b, lo+s))
+					}
+				}
+			}
+		}
+	}
 
 	// Link conservation: a drop is a send that was not delivered, so drops
 	// can never exceed hops (sends ≥ deliveries + drops, per kind).

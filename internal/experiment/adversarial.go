@@ -9,8 +9,10 @@ import (
 // AdversarialProtocols are the engines compared by the adversarial sweep:
 // the paper's three plus the source-recovery floor, all carrying the
 // hardening layer (dedup caches, monotonic guards, malformed-packet
-// rejection) this sweep exists to exercise.
-var AdversarialProtocols = []string{"SRM", "RMA", "RP", "SRC"}
+// rejection) this sweep exists to exercise, and the cooperative coded
+// engine, whose symbol plane faces its own mutation class
+// (fault.ClassSymbol: flipped indices, truncated payloads).
+var AdversarialProtocols = []string{"SRM", "RMA", "RP", "SRC", "COOP"}
 
 // MutationSweep is the adversarial robustness evaluation: one fixed topology
 // driven through rising message-plane mutation intensity — control-packet

@@ -24,6 +24,12 @@ func ResultDigest(res *protocol.Result) string {
 	fmt.Fprintf(h, "losses=%d rec=%d unrec=%d dup=%d predet=%d data=%d late=%d crashed=%d delivered=%d malformed=%d\n",
 		s.Losses, s.Recoveries, s.Unrecovered, s.Duplicates, s.PreDetection,
 		s.DataDeliveries, s.LateData, s.UnrecoveredCrashed, s.Delivered, s.Malformed)
+	if s.CodedSymbols != 0 || s.CodedDuplicates != 0 {
+		// Coded-recovery runs only: the line is conditional so the digests
+		// of the four per-seq engines — pinned before coded recovery
+		// existed — stay byte-identical.
+		fmt.Fprintf(h, "coded=%d codeddup=%d\n", s.CodedSymbols, s.CodedDuplicates)
+	}
 	fmt.Fprintf(h, "lat n=%d mean=%s var=%s min=%s max=%s\n",
 		s.Latency.Count(), f(s.Latency.Mean()), f(s.Latency.Variance()),
 		f(s.Latency.Min()), f(s.Latency.Max()))

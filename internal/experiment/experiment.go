@@ -12,6 +12,7 @@ import (
 	"rmcast/internal/lsr"
 	"rmcast/internal/protocol"
 	"rmcast/internal/protocol/ack"
+	"rmcast/internal/protocol/coop"
 	"rmcast/internal/protocol/fec"
 	"rmcast/internal/protocol/rma"
 	"rmcast/internal/protocol/rpproto"
@@ -30,8 +31,8 @@ var PaperProtocols = []string{"SRM", "RMA", "RP"}
 var AblationProtocols = []string{"RP", "RP-AWARE", "RP-NOSRC", "RP-NAK", "RP-SUBGROUP", "SRC", "SRM-HONEST", "SRM-ADAPT", "FEC", "ACK"}
 
 // ChaosProtocols are the engines compared by the chaos sweep (chaos.go):
-// the paper's three plus the hardened RP.
-var ChaosProtocols = []string{"SRM", "RMA", "RP", "RP-RESILIENT"}
+// the paper's three, the hardened RP, and the cooperative coded engine.
+var ChaosProtocols = []string{"SRM", "RMA", "RP", "RP-RESILIENT", "COOP"}
 
 // NewEngine constructs a protocol engine by name. Recognised names:
 //
@@ -52,6 +53,10 @@ var ChaosProtocols = []string{"SRM", "RMA", "RP", "RP-RESILIENT"}
 //	               2 parity per block, local decode, source fallback
 //	ACK          — sender-initiated positive-ACK baseline (reference [21]);
 //	               shows the ACK-implosion cost in request hops
+//	COOP         — cooperative coded repair: block-level symbol
+//	               solicitation from strategy-ranked peers over disjoint
+//	               coded ranges, decode at rank K, source as bounded last
+//	               resort
 func NewEngine(name string) (protocol.Engine, error) {
 	switch name {
 	case "SRM":
@@ -95,6 +100,8 @@ func NewEngine(name string) (protocol.Engine, error) {
 		return fec.New(fec.DefaultOptions()), nil
 	case "ACK":
 		return ack.New(ack.DefaultOptions()), nil
+	case "COOP":
+		return coop.New(coop.DefaultOptions()), nil
 	}
 	return nil, fmt.Errorf("experiment: unknown protocol %q", name)
 }

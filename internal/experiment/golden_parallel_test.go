@@ -24,7 +24,7 @@ var parallelWorkerCounts = []int{1, 2, 4, 8}
 // TestGoldenDigestsParallel reruns the serial golden cells at every worker
 // count and asserts the digests are unchanged.
 func TestGoldenDigestsParallel(t *testing.T) {
-	for _, proto := range []string{"SRM", "RMA", "RP", "SRC"} {
+	for _, proto := range []string{"SRM", "RMA", "RP", "SRC", "COOP"} {
 		for _, variant := range []string{"plain", "queued"} {
 			for _, w := range parallelWorkerCounts {
 				key := proto + "/" + variant
@@ -96,7 +96,7 @@ func adversarialParitySchedule(topo *topology.Network) *fault.Schedule {
 // adversarial schedule (serial fallback), at every worker count.
 func TestParallelParityChaos(t *testing.T) {
 	for _, kind := range []string{"chaos", "adversarial"} {
-		for _, proto := range []string{"SRM", "RMA", "RP", "SRC"} {
+		for _, proto := range []string{"SRM", "RMA", "RP", "SRC", "COOP"} {
 			t.Run(kind+"/"+proto, func(t *testing.T) {
 				serial := parityRun(t, proto, kind, 0)
 				want := ResultDigest(serial)

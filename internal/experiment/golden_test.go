@@ -33,6 +33,10 @@ var goldenDigests = map[string]string{
 	"RMA/queued": "43688f6583dc842b",
 	"RP/queued":  "261c2b4e6e6df5ff",
 	"SRC/queued": "4fb96363e2242379",
+	// COOP captured at its introduction (coded cooperative repair PR);
+	// its digest additionally folds in the coded-symbol counters.
+	"COOP/plain":  "63e9bc316603b8a3",
+	"COOP/queued": "7f8dadacb29b4731",
 }
 
 // TestGoldenDigests runs the four engines under the paper's plain model and
@@ -40,7 +44,7 @@ var goldenDigests = map[string]string{
 // hop-walker paths) and asserts the results are byte-identical to the
 // pre-refactor captures.
 func TestGoldenDigests(t *testing.T) {
-	for _, proto := range []string{"SRM", "RMA", "RP", "SRC"} {
+	for _, proto := range []string{"SRM", "RMA", "RP", "SRC", "COOP"} {
 		for _, variant := range []string{"plain", "queued"} {
 			key := proto + "/" + variant
 			t.Run(key, func(t *testing.T) {

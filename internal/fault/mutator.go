@@ -32,6 +32,10 @@ const (
 	ClassRequest MsgClass = iota
 	// ClassRepair covers retransmissions.
 	ClassRepair
+	// ClassSymbol covers coded repair symbols (the COOP engine's block
+	// recovery traffic): repair-kind packets whose payload is a coded
+	// symbol rather than a plain retransmission.
+	ClassSymbol
 	numClasses
 )
 
@@ -52,7 +56,21 @@ const (
 	// CorruptPayload replaces the payload with garbage (requests only:
 	// repair payloads are never inspected, so garbage there is vacuous).
 	CorruptPayload
+	// CorruptSymbolIndex flips a coded symbol's index out of range
+	// (symbol class only): the receiver must reject it as malformed, not
+	// credit it toward a block's decode rank.
+	CorruptSymbolIndex
+	// CorruptSymbolTrunc truncates a coded symbol's payload — modelled as
+	// replacing it with garbage (symbol class only). Like every corrupt
+	// mode it is detectably invalid, never a forgeable valid symbol.
+	CorruptSymbolTrunc
 )
+
+// symbolCorruptModes are the corruption outcomes drawn for ClassSymbol:
+// header flips plus the two symbol-specific damages.
+var symbolCorruptModes = [...]CorruptMode{
+	CorruptSeq, CorruptFrom, CorruptSymbolIndex, CorruptSymbolTrunc,
+}
 
 const (
 	// maxDupDefault bounds the geometric duplicate draw when MaxDup is 0.
@@ -140,10 +158,13 @@ func (w StormWindow) active() bool {
 // after construction: the runtime clamps into private copies, so a single
 // config may be shared across concurrent runs.
 type MutationConfig struct {
-	// Request and Repair are the per-class mutation intensities.
+	// Request, Repair, and Symbol are the per-class mutation intensities
+	// (Symbol covers coded repair symbols; inert for engines that send
+	// none).
 	Request MutationParams
 	Repair  MutationParams
-	// Storms amplify repair deliveries inside their windows.
+	Symbol  MutationParams
+	// Storms amplify repair and symbol deliveries inside their windows.
 	Storms []StormWindow
 }
 
@@ -152,7 +173,7 @@ func (c *MutationConfig) Empty() bool {
 	if c == nil {
 		return true
 	}
-	if !c.Request.Empty() || !c.Repair.Empty() {
+	if !c.Request.Empty() || !c.Repair.Empty() || !c.Symbol.Empty() {
 		return false
 	}
 	for _, w := range c.Storms {
@@ -189,6 +210,7 @@ func MutationFromIntensity(intensity, span float64) *MutationConfig {
 	return &MutationConfig{
 		Request: p,
 		Repair:  p,
+		Symbol:  p,
 		Storms: []StormWindow{
 			{From: 0.35 * span, To: 0.45 * span, Extra: 1 + int(2*intensity)},
 		},
@@ -222,6 +244,7 @@ func newMutator(cfg *MutationConfig, r *rng.Rand) *Mutator {
 	m := &Mutator{r: r}
 	m.classes[ClassRequest] = cfg.Request.clamped()
 	m.classes[ClassRepair] = cfg.Repair.clamped()
+	m.classes[ClassSymbol] = cfg.Symbol.clamped()
 	for _, w := range cfg.Storms {
 		if !w.active() {
 			continue
@@ -233,6 +256,7 @@ func newMutator(cfg *MutationConfig, r *rng.Rand) *Mutator {
 	}
 	m.active[ClassRequest] = !cfg.Request.Empty()
 	m.active[ClassRepair] = !cfg.Repair.Empty() || len(m.storms) > 0
+	m.active[ClassSymbol] = !cfg.Symbol.Empty() || len(m.storms) > 0
 	return m
 }
 
@@ -255,7 +279,9 @@ func (m *Mutator) Sample(class MsgClass, at float64, out *Mutation) bool {
 			m.scratch = append(m.scratch, m.jitter(p))
 		}
 	}
-	if class == ClassRepair {
+	if class != ClassRequest {
+		// Storms amplify repair-plane traffic: plain retransmissions and
+		// coded symbols alike.
 		for _, w := range m.storms {
 			if at >= w.From && at < w.To {
 				for i := 0; i < w.Extra; i++ {
@@ -268,9 +294,14 @@ func (m *Mutator) Sample(class MsgClass, at float64, out *Mutation) bool {
 		out.Delay = m.jitter(p)
 	}
 	if p.CorruptProb > 0 && m.r.Bool(p.CorruptProb) {
-		if class == ClassRequest {
+		switch class {
+		case ClassRequest:
 			out.Corrupt = CorruptMode(1 + m.r.Intn(3))
-		} else {
+		case ClassSymbol:
+			// Symbol payloads ARE inspected: header flips plus the two
+			// symbol-specific damages (out-of-range index, truncation).
+			out.Corrupt = symbolCorruptModes[m.r.Intn(len(symbolCorruptModes))]
+		default:
 			// Repair payloads are never inspected, so garbage there
 			// would mutate nothing observable; flip header fields only.
 			out.Corrupt = CorruptMode(1 + m.r.Intn(2))

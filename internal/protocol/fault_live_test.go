@@ -6,6 +6,7 @@ import (
 	"rmcast/internal/fault"
 	"rmcast/internal/mtree"
 	"rmcast/internal/protocol"
+	"rmcast/internal/protocol/coop"
 	"rmcast/internal/protocol/rma"
 	"rmcast/internal/protocol/rpproto"
 	"rmcast/internal/protocol/srcrec"
@@ -58,6 +59,7 @@ func TestLivenessUnderCombinedFaults(t *testing.T) {
 		{"SRM", func() protocol.Engine { return srm.New(srm.DefaultOptions()) }},
 		{"RMA", func() protocol.Engine { return rma.New(rma.DefaultOptions()) }},
 		{"SRC", func() protocol.Engine { return srcrec.New(srcrec.DefaultOptions()) }},
+		{"COOP", func() protocol.Engine { return coop.New(coop.DefaultOptions()) }},
 	}
 	for _, tc := range engines {
 		tc := tc

@@ -19,7 +19,9 @@
 package fec
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"rmcast/internal/graph"
 	"rmcast/internal/protocol"
@@ -52,6 +54,9 @@ type Engine struct {
 	paritySeen map[key]int
 	// pending tracks fallback timers per (client, seq).
 	pending map[key]sim.Timer
+	// parked marks fallbacks suspended while their client is crashed; a
+	// permanent crash must not keep re-arming retry timers forever.
+	parked map[key]bool
 }
 
 type key struct {
@@ -85,6 +90,7 @@ func New(opt Options) *Engine {
 		opt:        opt,
 		paritySeen: make(map[key]int),
 		pending:    make(map[key]sim.Timer),
+		parked:     make(map[key]bool),
 	}
 }
 
@@ -170,6 +176,7 @@ func (e *Engine) cancel(c graph.NodeID, seq int) {
 		t.Stop()
 		delete(e.pending, k)
 	}
+	delete(e.parked, k)
 }
 
 // OnDetect implements protocol.Engine: wait for the block's parity; if the
@@ -203,6 +210,12 @@ func (e *Engine) fallback(c graph.NodeID, seq int) {
 	if !e.s.Missing(c, seq) {
 		return
 	}
+	if !e.s.Alive(c) {
+		// Crashed mid-cycle: park rather than re-arm, OnRecover resumes.
+		e.pending[k] = sim.Timer{}
+		e.parked[k] = true
+		return
+	}
 	e.s.Net.Unicast(e.s.Topo.Source, sim.Packet{
 		Kind: sim.Request, Seq: seq, From: c, Payload: request{Requester: c},
 	})
@@ -232,7 +245,51 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 	}
 }
 
+// OnCrash implements protocol.FaultAware: stop the crashed client's
+// fallback timers and park the keys, so a permanent crash cannot keep the
+// event loop alive with retries that can never be answered.
+func (e *Engine) OnCrash(h graph.NodeID) {
+	for _, k := range e.keysFor(h) {
+		if t := e.pending[k]; t.Valid() {
+			t.Stop()
+			e.pending[k] = sim.Timer{}
+		}
+		e.parked[k] = true
+	}
+}
+
+// OnRecover implements protocol.FaultAware: resume parked fallbacks in
+// sequence order (deterministic), decoding first where parity already
+// suffices.
+func (e *Engine) OnRecover(h graph.NodeID) {
+	for _, k := range e.keysFor(h) {
+		if !e.parked[k] {
+			continue
+		}
+		delete(e.parked, k)
+		delete(e.pending, k)
+		if e.s.Missing(k.c, k.n) {
+			e.fallback(k.c, k.n)
+		}
+	}
+}
+
+// keysFor returns h's pending fallback keys in sequence order.
+func (e *Engine) keysFor(h graph.NodeID) []key {
+	var ks []key
+	for k := range e.pending {
+		if k.c == h {
+			ks = append(ks, k)
+		}
+	}
+	slices.SortFunc(ks, func(a, b key) int { return cmp.Compare(a.n, b.n) })
+	return ks
+}
+
 // PendingRecoveries reports outstanding fallback timers (testing).
 func (e *Engine) PendingRecoveries() int { return len(e.pending) }
 
-var _ protocol.Engine = (*Engine)(nil)
+var (
+	_ protocol.Engine     = (*Engine)(nil)
+	_ protocol.FaultAware = (*Engine)(nil)
+)

@@ -392,6 +392,8 @@ func (s *Session) mergeShards(shards []*shardRun, master *check.Oracle,
 		st.DataDeliveries += sh.sub.stats.DataDeliveries
 		st.LateData += sh.sub.stats.LateData
 		st.Malformed += sh.sub.stats.Malformed
+		st.CodedSymbols += sh.sub.stats.CodedSymbols
+		st.CodedDuplicates += sh.sub.stats.CodedDuplicates
 		hops.Data += sh.net.Hops.Data
 		hops.Request += sh.net.Hops.Request
 		hops.Repair += sh.net.Hops.Repair
@@ -456,6 +458,8 @@ func (s *Session) mergeShards(shards []*shardRun, master *check.Oracle,
 			DataDeliveries:     st.DataDeliveries,
 			LateData:           st.LateData,
 			Malformed:          st.Malformed,
+			CodedSymbols:       st.CodedSymbols,
+			CodedDuplicates:    st.CodedDuplicates,
 			Delivered:          st.Delivered,
 			Unrecovered:        st.Unrecovered,
 			UnrecoveredCrashed: st.UnrecoveredCrashed,

@@ -21,6 +21,7 @@ package protocol
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"rmcast/internal/check"
 	"rmcast/internal/fault"
@@ -219,6 +220,22 @@ type Session struct {
 	// costless — in serial runs.
 	latLogOn bool
 	latLog   []latSample
+
+	// coded is the coded-recovery ground truth (nil unless the attached
+	// engine called EnableCodedRecovery): per (client, block), the set of
+	// distinct coded symbols held, mirrored independently by the oracle.
+	coded *codedRecovery
+}
+
+// codedRecovery holds the session-owned coded-symbol state: blocks of k
+// data packets protected by r coded symbols, and per (client, block) the
+// bitmask of coded indices held. The bitmask IS the idempotency mechanism:
+// a redundant symbol sets no new bit, so duplicated or reordered symbol
+// deliveries cannot double-count (the symbol-plane equivalent of the
+// engines' DedupCache).
+type codedRecovery struct {
+	k, r, blocks int
+	sets         [][]uint64 // [clientIdx][block]
 }
 
 // latSample is one recovery-latency observation stamped with its event time.
@@ -261,6 +278,11 @@ type Stats struct {
 	// by the engines. Non-zero only under the message-plane mutator (or a
 	// protocol bug).
 	Malformed int64
+	// CodedSymbols counts distinct coded repair symbols credited toward
+	// block decodes; CodedDuplicates counts redundant copies absorbed
+	// idempotently. Both are zero unless the engine uses coded recovery.
+	CodedSymbols    int64
+	CodedDuplicates int64
 	// Latency summarises per-recovery delay (detection → repair), ms.
 	Latency metrics.Summary
 }
@@ -545,25 +567,21 @@ func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
 			}
 		}
 	case sim.Repair:
+		// A repair payload is either absent, a coded symbol, or mutator
+		// garbage (symbol truncation): garbage is rejected here because no
+		// engine emits payload-less garbage repairs, so the usual engine-side
+		// payload validation would otherwise credit the packet as a plain
+		// repair of its (valid-looking) header sequence.
+		if _, bad := pkt.Payload.(sim.Garbage); bad {
+			s.NoteMalformed()
+			return
+		}
+		if sym, ok := pkt.Payload.(sim.Symbol); ok {
+			s.onSymbol(host, pkt, sym)
+			return
+		}
 		if idx, ok := s.clientIdx[host]; ok {
-			if s.oracle != nil {
-				s.oracle.OnRepair(idx, pkt.Seq,
-					s.received[idx][pkt.Seq], !math.IsNaN(s.detectAt[idx][pkt.Seq]))
-			}
-			switch {
-			case s.received[idx][pkt.Seq]:
-				s.stats.Duplicates++
-			case math.IsNaN(s.detectAt[idx][pkt.Seq]):
-				// Repaired before the gap was even noticed.
-				s.received[idx][pkt.Seq] = true
-				s.stats.PreDetection++
-			default:
-				s.received[idx][pkt.Seq] = true
-				s.stats.Recoveries++
-				s.recordLatency(idx, s.Eng.Now()-s.detectAt[idx][pkt.Seq])
-				s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
-					Node: int32(host), Peer: int32(pkt.From), Seq: pkt.Seq})
-			}
+			s.repairArrival(idx, host, pkt)
 		} else if s.oracle != nil {
 			// Repairs crossing non-client hosts (e.g. the source seeing an
 			// SRM flood) still carry the never-sent-seq invariant.
@@ -573,6 +591,190 @@ func (s *Session) onDeliver(host graph.NodeID, pkt sim.Packet) {
 	case sim.Request:
 		s.engine.OnPacket(host, pkt)
 	}
+}
+
+// repairArrival applies the per-(client, seq) bookkeeping of one repair
+// delivery — shared by plain repairs and systematic coded symbols, which
+// carry a data sequence verbatim.
+func (s *Session) repairArrival(idx int, host graph.NodeID, pkt sim.Packet) {
+	if s.oracle != nil {
+		s.oracle.OnRepair(idx, pkt.Seq,
+			s.received[idx][pkt.Seq], !math.IsNaN(s.detectAt[idx][pkt.Seq]))
+	}
+	switch {
+	case s.received[idx][pkt.Seq]:
+		s.stats.Duplicates++
+	case math.IsNaN(s.detectAt[idx][pkt.Seq]):
+		// Repaired before the gap was even noticed.
+		s.received[idx][pkt.Seq] = true
+		s.stats.PreDetection++
+	default:
+		s.received[idx][pkt.Seq] = true
+		s.stats.Recoveries++
+		s.recordLatency(idx, s.Eng.Now()-s.detectAt[idx][pkt.Seq])
+		s.emit(trace.Event{At: s.Eng.Now(), Kind: trace.Recover,
+			Node: int32(host), Peer: int32(pkt.From), Seq: pkt.Seq})
+	}
+}
+
+// onSymbol is the delivery path for coded repair symbols: validate against
+// the enabled coded-recovery geometry (anything out of domain — including
+// the mutator's index flips and truncations — is malformed), then credit a
+// systematic symbol as a plain repair of its sequence or a coded symbol as
+// one unit of the block's decode rank, idempotently. The engine sees the
+// packet afterwards to attempt a decode.
+func (s *Session) onSymbol(host graph.NodeID, pkt sim.Packet, sym sim.Symbol) {
+	cr := s.coded
+	if cr == nil {
+		// A symbol in a run whose engine never enabled coded recovery is
+		// junk by definition.
+		s.NoteMalformed()
+		return
+	}
+	b, si := int(sym.Block), int(sym.Index)
+	if b < 0 || b >= cr.blocks || si < 0 || si >= cr.k+cr.r {
+		s.NoteMalformed()
+		return
+	}
+	lo := b * cr.k
+	bl := s.blockLen(b)
+	idx, ok := s.clientIdx[host]
+	if !ok {
+		// Symbols are unicast to requesting clients; a copy reaching a
+		// non-client host is inert.
+		return
+	}
+	if si < cr.k {
+		// Systematic symbol: carries data sequence lo+si verbatim. The
+		// header sequence must agree (padding indices of a short tail
+		// block name no data and are likewise invalid).
+		if si >= bl || pkt.Seq != lo+si {
+			s.NoteMalformed()
+			return
+		}
+		s.repairArrival(idx, host, pkt)
+		s.engine.OnPacket(host, pkt)
+		return
+	}
+	j := si - cr.k
+	dup := cr.sets[idx][b]&(1<<uint(j)) != 0
+	if s.oracle != nil {
+		s.oracle.OnSymbol(idx, b, j, dup)
+	}
+	if dup {
+		s.stats.CodedDuplicates++
+	} else {
+		cr.sets[idx][b] |= 1 << uint(j)
+		s.stats.CodedSymbols++
+	}
+	s.engine.OnPacket(host, pkt)
+}
+
+// EnableCodedRecovery switches the session (and its oracle) into coded-
+// recovery mode: the data stream is viewed as blocks of k packets, each
+// protected by r coded symbols, with k and r in [1, 64] so a block's
+// symbol set fits one machine word. Engines call it from Attach; calling
+// it twice with different geometry is an error.
+func (s *Session) EnableCodedRecovery(k, r int) error {
+	if k < 1 || k > 64 || r < 1 || r > 64 {
+		return fmt.Errorf("protocol: coded geometry out of range (k=%d, r=%d)", k, r)
+	}
+	if s.coded != nil {
+		if s.coded.k != k || s.coded.r != r {
+			return fmt.Errorf("protocol: coded recovery reconfigured (k %d→%d, r %d→%d)",
+				s.coded.k, k, s.coded.r, r)
+		}
+		return nil
+	}
+	blocks := (s.cfg.Packets + k - 1) / k
+	cr := &codedRecovery{k: k, r: r, blocks: blocks,
+		sets: make([][]uint64, len(s.Topo.Clients))}
+	for i := range cr.sets {
+		cr.sets[i] = make([]uint64, blocks)
+	}
+	s.coded = cr
+	if s.oracle != nil {
+		s.oracle.EnableCoded(k, r)
+	}
+	return nil
+}
+
+// CodedBlocks returns the block count of the enabled coded-recovery
+// geometry (0 when disabled).
+func (s *Session) CodedBlocks() int {
+	if s.coded == nil {
+		return 0
+	}
+	return s.coded.blocks
+}
+
+// blockLen returns the number of data sequences in block b (the tail block
+// may be short).
+func (s *Session) blockLen(b int) int {
+	lo := b * s.coded.k
+	hi := lo + s.coded.k
+	if hi > s.cfg.Packets {
+		hi = s.cfg.Packets
+	}
+	return hi - lo
+}
+
+// BlockBounds returns the data-sequence range [lo, hi) of block b.
+func (s *Session) BlockBounds(b int) (lo, hi int) {
+	lo = b * s.coded.k
+	hi = lo + s.blockLen(b)
+	return lo, hi
+}
+
+// BlockRank returns client c's decode rank for block b: data packets held
+// plus distinct coded symbols. The block is decodable once the rank
+// reaches the block length.
+func (s *Session) BlockRank(c graph.NodeID, b int) int {
+	idx, ok := s.clientIdx[c]
+	if !ok || s.coded == nil {
+		return 0
+	}
+	rank := bits.OnesCount64(s.coded.sets[idx][b])
+	lo, hi := s.BlockBounds(b)
+	for seq := lo; seq < hi; seq++ {
+		if s.received[idx][seq] {
+			rank++
+		}
+	}
+	return rank
+}
+
+// CodedHeld returns the bitmask of coded symbol indices client c holds for
+// block b.
+func (s *Session) CodedHeld(c graph.NodeID, b int) uint64 {
+	idx, ok := s.clientIdx[c]
+	if !ok || s.coded == nil {
+		return 0
+	}
+	return s.coded.sets[idx][b]
+}
+
+// DecodeBlock performs client c's erasure decode of block b, recovering
+// every data sequence of the block it does not hold (the engine must only
+// call it when BlockRank covers the block length — the oracle independently
+// verifies the rank and panics on a false decode in strict mode). Returns
+// the number of sequences recovered.
+func (s *Session) DecodeBlock(c graph.NodeID, b int) int {
+	idx, ok := s.clientIdx[c]
+	if !ok || s.coded == nil || b < 0 || b >= s.coded.blocks {
+		return 0
+	}
+	if s.oracle != nil {
+		s.oracle.OnDecode(idx, b)
+	}
+	n := 0
+	lo, hi := s.BlockBounds(b)
+	for seq := lo; seq < hi; seq++ {
+		if !s.received[idx][seq] && s.RecoverLocal(c, seq) {
+			n++
+		}
+	}
+	return n
 }
 
 // emit forwards a trace event when a tracer is attached.
@@ -823,6 +1025,8 @@ func (s *Session) Run() *Result {
 			DataDeliveries:     s.stats.DataDeliveries,
 			LateData:           s.stats.LateData,
 			Malformed:          s.stats.Malformed,
+			CodedSymbols:       s.stats.CodedSymbols,
+			CodedDuplicates:    s.stats.CodedDuplicates,
 			Delivered:          s.stats.Delivered,
 			Unrecovered:        s.stats.Unrecovered,
 			UnrecoveredCrashed: s.stats.UnrecoveredCrashed,

@@ -154,6 +154,19 @@ type floodFrame struct {
 // payload validation (counted as malformed) rather than misbehave.
 type Garbage struct{}
 
+// Symbol is the wire payload of one coded repair symbol (the COOP engine's
+// block-recovery unit). A block of K data packets is expanded into K+R
+// symbols: Index < K names the systematic symbol carrying data sequence
+// Block·K+Index verbatim; K ≤ Index < K+R names a coded symbol, any
+// combination of which adds one unit of decode rank — a client holding any
+// K distinct symbols of a block reconstructs every packet in it. Symbol
+// packets travel as Kind Repair (they are recovery traffic for bandwidth
+// accounting) and are classed fault.ClassSymbol for mutation.
+type Symbol struct {
+	Block int32
+	Index int32
+}
+
 // NewNet wires a network simulation over the given substrate. The rng
 // stream is owned by the Net afterwards (loss draws must not interleave
 // with other users).
@@ -218,7 +231,7 @@ func (n *Net) senderDown(pkt Packet) bool {
 // Control-plane deliveries pass through the message mutator when one is
 // installed and active for their class.
 func (n *Net) deliver(node graph.NodeID, at float64, pkt Packet) {
-	if n.mut != nil && pkt.Kind != Data && n.mut.Active(classOf(pkt.Kind)) {
+	if n.mut != nil && pkt.Kind != Data && n.mut.Active(classOf(pkt)) {
 		n.deliverMutated(node, at, pkt)
 		return
 	}
@@ -254,7 +267,7 @@ func (n *Net) deliverAt(node graph.NodeID, at float64, pkt Packet) {
 // its own arrival instant.
 func (n *Net) deliverMutated(node graph.NodeID, at float64, pkt Packet) {
 	var mu fault.Mutation
-	if !n.mut.Sample(classOf(pkt.Kind), at, &mu) {
+	if !n.mut.Sample(classOf(pkt), at, &mu) {
 		n.deliverAt(node, at, pkt)
 		return
 	}
@@ -266,6 +279,12 @@ func (n *Net) deliverMutated(node graph.NodeID, at float64, pkt Packet) {
 		pkt.From = -1 - pkt.From
 	case fault.CorruptPayload:
 		pkt.Payload = Garbage{}
+	case fault.CorruptSymbolIndex:
+		if sym, ok := pkt.Payload.(Symbol); ok {
+			pkt.Payload = Symbol{Block: sym.Block, Index: -1 - sym.Index}
+		}
+	case fault.CorruptSymbolTrunc:
+		pkt.Payload = Garbage{}
 	}
 	n.deliverAt(node, at+mu.Delay, pkt)
 	for _, d := range mu.Copies {
@@ -273,9 +292,14 @@ func (n *Net) deliverMutated(node graph.NodeID, at float64, pkt Packet) {
 	}
 }
 
-// classOf maps a control packet kind onto the mutator's class space.
-func classOf(k Kind) fault.MsgClass {
-	if k == Repair {
+// classOf maps a control packet onto the mutator's class space: repairs
+// carrying a coded Symbol payload are their own class (they have payload
+// validation to attack), plain repairs and requests keep their classes.
+func classOf(pkt Packet) fault.MsgClass {
+	if pkt.Kind == Repair {
+		if _, ok := pkt.Payload.(Symbol); ok {
+			return fault.ClassSymbol
+		}
 		return fault.ClassRepair
 	}
 	return fault.ClassRequest
@@ -286,7 +310,7 @@ func classOf(k Kind) fault.MsgClass {
 // rescheduled through deliverMutated instead — its copies need their own
 // arrival events.
 func (n *Net) upcall(node graph.NodeID, pkt Packet) {
-	if n.mut != nil && pkt.Kind != Data && n.mut.Active(classOf(pkt.Kind)) {
+	if n.mut != nil && pkt.Kind != Data && n.mut.Active(classOf(pkt)) {
 		n.deliverMutated(node, n.Eng.Now(), pkt)
 		return
 	}
