@@ -56,6 +56,8 @@ smoke-bench:
 	$(GO) test -run xxx -bench 'BenchmarkFigure5/n=50$$' -benchmem -benchtime 1x .
 	$(GO) test -run xxx -bench 'BenchmarkCoopRecovery/n=100/chaos' -benchmem -benchtime 1x .
 	$(GO) run ./cmd/rmsim -scaling -sizes 1000 -simworkers 4
+	$(GO) run ./cmd/rmsim -churn -routers 40 -packets 15
+	$(GO) test -run xxx -bench 'BenchmarkFailover$$' -benchmem -benchtime 1x .
 
 # Wall-clock serial-vs-sharded capture for the conservative parallel engine:
 # every scaling cell runs one serial and one sharded RP simulation (digest
@@ -93,6 +95,7 @@ fuzz-short:
 	$(GO) test -fuzz FuzzSchedule -fuzztime 5s ./internal/fault
 	$(GO) test -fuzz FuzzMutator -fuzztime 5s ./internal/experiment
 	$(GO) test -fuzz FuzzCoopDecode -fuzztime 5s ./internal/protocol/coop
+	$(GO) test -fuzz FuzzElection -fuzztime 5s ./internal/protocol/rpproto
 
 # Long-haul adversarial soak: the full default mutation sweep at production
 # scale plus max-intensity mutation layered over mid-severity chaos, strict

@@ -535,6 +535,53 @@ func BenchmarkParallelEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkFailover measures the cost of an epoch-fenced RP failover: one
+// full RP-FAILOVER run per iteration with the initial coordinator crashed
+// permanently mid-transmission, strict oracle on, so each iteration covers
+// suspicion, re-election, promotion and the pending-recovery handover. The
+// baseline sub-benchmark runs the identical cell with no crash, so the pair
+// isolates what a failover costs over steady-state coordinated recovery.
+func BenchmarkFailover(b *testing.B) {
+	topo, err := topology.Standard(100, 0.05, 2003)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rp0 := core.ElectionOrder(mtree.MustBuild(topo))[0]
+	span := float64(benchPackets) * 50
+	for _, crash := range []bool{false, true} {
+		name := "steady"
+		var sched *fault.Schedule
+		if crash {
+			name = "rpcrash"
+			sched = (&fault.Schedule{}).CrashHost(0.25*span, rp0)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			var failovers int64
+			for i := 0; i < b.N; i++ {
+				eng, err := experiment.NewEngine("RP-FAILOVER")
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := protocol.Config{Packets: benchPackets, Interval: 50, Fault: sched}
+				s, err := protocol.NewSession(topo, eng, cfg, 17)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := s.Run()
+				if !res.Complete || res.Stats.Unrecovered > 0 || len(res.Violations) > 0 {
+					b.Fatal("unhealthy failover benchmark run")
+				}
+				if crash && res.Stats.Failovers < 1 {
+					b.Fatal("crash cell failed to fail over")
+				}
+				failovers = res.Stats.Failovers
+			}
+			b.ReportMetric(float64(failovers), "failovers/run")
+		})
+	}
+}
+
 // BenchmarkAdversarialMutation measures what the hostile message plane
 // costs each hardened engine: one full run per iteration at mutation
 // intensity 0 (the mutator entirely absent) versus 1 (duplication,

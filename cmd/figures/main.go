@@ -14,10 +14,11 @@
 // is independently seeded, so the output is bit-identical at any worker
 // count.
 //
-// The robustness sweeps (-fig chaos, -fig adversarial) compare the paper's
-// engines against the hardened variants, including the cooperative coded
-// repair engine COOP (internal/protocol/coop) with its symbol-plane
-// mutation class.
+// The robustness sweeps (-fig chaos, -fig adversarial, -fig churn) compare
+// the paper's engines against the hardened variants, including the
+// cooperative coded repair engine COOP (internal/protocol/coop) with its
+// symbol-plane mutation class and the epoch-fenced RP failover engine
+// RP-FAILOVER (internal/protocol/rpproto) under coordinator-aimed churn.
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "5|6|7|8|56|78|ablation|chaos|adversarial|scaling|all")
+		fig      = flag.String("fig", "all", "5|6|7|8|56|78|ablation|chaos|adversarial|churn|scaling|all")
 		packets  = flag.Int("packets", 100, "data packets per run")
 		reps     = flag.Int("reps", 1, "traffic-seed replicates per cell")
 		seed     = flag.Uint64("seed", 2003, "base seed")
@@ -86,10 +87,11 @@ func main() {
 	needAb := *fig == "all" || *fig == "ablation"
 	needCh := *fig == "all" || *fig == "chaos"
 	needAdv := *fig == "all" || *fig == "adversarial"
+	needChu := *fig == "all" || *fig == "churn"
 	// The scaling tier is a planning-performance probe, not a paper figure,
 	// so "all" does not imply it; ask for it explicitly.
 	needSc := *fig == "scaling"
-	if !need56 && !need78 && !needAb && !needCh && !needAdv && !needSc {
+	if !need56 && !need78 && !needAb && !needCh && !needAdv && !needChu && !needSc {
 		fmt.Fprintf(os.Stderr, "figures: unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
@@ -165,6 +167,20 @@ func main() {
 		emit(lat)
 		emit(p99)
 		emit(bw)
+	}
+	if needChu {
+		c := experiment.DefaultChurn()
+		c.Packets, c.Replicates, c.BaseSeed, c.Interval = *packets, *reps, *seed, *interval
+		c.Parallel = *parallel
+		delivery, lat, p99, failovers, err := c.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+			os.Exit(1)
+		}
+		emit(delivery)
+		emit(lat)
+		emit(p99)
+		emit(failovers)
 	}
 	if needSc {
 		s := experiment.DefaultScaling()

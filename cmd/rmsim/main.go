@@ -48,6 +48,8 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit per-protocol results as JSON")
 		chaos    = flag.Bool("chaos", false,
 			"run the fault-injection (chaos) sweep instead of a single run: crashes, link outages and burst loss rising with severity, RP vs SRM vs RMA vs RP-RESILIENT vs COOP")
+		churn = flag.Bool("churn", false,
+			"run the mobility-style churn sweep instead of a single run: crash waves aimed at the coordinator succession line with rate rising 0→1, SRM vs RP vs RP-RESILIENT vs RP-FAILOVER")
 		adversarial = flag.Bool("adversarial", false,
 			"run the adversarial message-plane sweep instead of a single run: control-packet duplication, reordering, corruption and repair storms rising with intensity, SRM vs RMA vs RP vs SRC vs COOP")
 		scaling = flag.Bool("scaling", false,
@@ -98,7 +100,26 @@ func main() {
 			fmt.Println(p)
 		}
 		fmt.Println("RP-RESILIENT")
+		fmt.Println("RP-FAILOVER")
 		fmt.Println("COOP")
+		return
+	}
+
+	if *churn {
+		sweep := experiment.DefaultChurn()
+		sweep.Routers = *routers
+		sweep.BaseLoss = *loss
+		sweep.Packets = *packets
+		sweep.Interval = *interval
+		sweep.BaseSeed = *simSeed
+		sweep.Replicates = *reps
+		sweep.Parallel = *parallel
+		delivery, latency, p99, failovers, err := sweep.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
+			os.Exit(1)
+		}
+		emitFigures(delivery, latency, p99, failovers)
 		return
 	}
 
@@ -274,6 +295,16 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rmsim: %v\n", err)
 			os.Exit(1)
+		}
+	}
+
+	// Sharding was requested but some run fell back to the byte-exact serial
+	// path: say why, so a surprising lack of speed-up is explainable.
+	if *simWorkers >= 2 {
+		for i, p := range protos {
+			if res := results[i]; !res.Sharded && res.SerialReason != "" {
+				fmt.Fprintf(os.Stderr, "rmsim: %s ran serial: %s\n", p, res.SerialReason)
+			}
 		}
 	}
 

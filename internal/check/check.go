@@ -55,6 +55,10 @@ type Totals struct {
 	// recovery mode (EnableCoded): distinct coded symbols credited, and
 	// redundant copies absorbed idempotently.
 	CodedSymbols, CodedDuplicates int64
+	// Failovers / FencedStale are only cross-checked in failover mode
+	// (EnableFailover): RP epoch claims past the bootstrap epoch, and
+	// control messages rejected by the epoch fence.
+	Failovers, FencedStale int64
 }
 
 // codedState is the coded-recovery extension: per (client, block) the set
@@ -81,6 +85,8 @@ type Oracle struct {
 
 	coded                  *codedState
 	codedSymbols, codedDup int64
+
+	fo *failoverState
 
 	violations []string
 }
@@ -453,6 +459,10 @@ func (o *Oracle) Finish(complete bool, down []bool, t Totals) []string {
 				}
 			}
 		}
+	}
+
+	if o.fo != nil {
+		o.finishFailover(t, cmp)
 	}
 
 	// Link conservation: a drop is a send that was not delivered, so drops

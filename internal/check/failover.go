@@ -1,0 +1,134 @@
+package check
+
+// failoverState is the failover-mode extension of the oracle: an
+// independent registry of RP epoch claims and per-host epoch adoptions.
+// The invariants it polices are the ones the epoch fence is supposed to
+// guarantee —
+//
+//   - at most one RP claims any given epoch, and claims are strictly
+//     increasing (the engine allocates epochs through a single sequencer,
+//     so a duplicate or stale claim means the fence is broken);
+//   - each host's adopted epoch is monotonic, and a host only ever adopts
+//     an epoch some RP actually claimed, with the matching RP identity
+//     (adopting an unclaimed epoch means a forged or corrupted
+//     announcement got past validation).
+//
+// Together these give "at most one active RP per epoch": activity is
+// conditioned on adoption, and every adoption points at the unique
+// claimant of its epoch.
+type failoverState struct {
+	claimedBy  map[int]int // epoch → claiming RP host
+	maxClaimed int
+	epochOf    []int // per-host adopted epoch (0 = none yet)
+	rpOf       []int // per-host adopted RP for that epoch
+	claims     int64 // claims past the bootstrap epoch (== failovers)
+	fenced     int64 // control messages rejected by the epoch fence
+}
+
+// EnableFailover switches the oracle into failover mode for a run over
+// numNodes hosts. Idempotent; the first call wins.
+func (o *Oracle) EnableFailover(numNodes int) {
+	if o.fo != nil {
+		return
+	}
+	if numNodes < 1 {
+		o.violate("failover: invalid node count %d", numNodes)
+		return
+	}
+	o.fo = &failoverState{
+		claimedBy: make(map[int]int),
+		epochOf:   make([]int, numNodes),
+		rpOf:      make([]int, numNodes),
+	}
+}
+
+// OnRPClaim observes host rp claiming epoch. Claims must be unique per
+// epoch and strictly increasing across the run; the bootstrap claim
+// (epoch 1) is free, every later claim counts as one failover.
+func (o *Oracle) OnRPClaim(epoch, rp int) {
+	if o.fo == nil {
+		o.violate("rp-claim: failover mode not enabled")
+		return
+	}
+	if epoch < 1 {
+		o.violate("rp-claim: host %d claimed invalid epoch %d", rp, epoch)
+		return
+	}
+	if rp < 0 || rp >= len(o.fo.epochOf) {
+		o.violate("rp-claim: out-of-range host %d", rp)
+		return
+	}
+	if prev, dup := o.fo.claimedBy[epoch]; dup {
+		o.violate("rp-claim: epoch %d claimed by host %d and host %d", epoch, prev, rp)
+		return
+	}
+	if epoch <= o.fo.maxClaimed {
+		o.violate("rp-claim: host %d claimed stale epoch %d (max claimed %d)",
+			rp, epoch, o.fo.maxClaimed)
+		return
+	}
+	o.fo.claimedBy[epoch] = rp
+	o.fo.maxClaimed = epoch
+	if epoch > 1 {
+		o.fo.claims++
+	}
+}
+
+// OnEpochAdopt observes host adopting (epoch, rp) as its current view.
+// Adoption is monotonic per host, and must name the unique claimant of a
+// claimed epoch; re-adopting the current view is an idempotent no-op.
+func (o *Oracle) OnEpochAdopt(host, epoch, rp int) {
+	if o.fo == nil {
+		o.violate("epoch-adopt: failover mode not enabled")
+		return
+	}
+	if host < 0 || host >= len(o.fo.epochOf) {
+		o.violate("epoch-adopt: out-of-range host %d", host)
+		return
+	}
+	claimant, claimed := o.fo.claimedBy[epoch]
+	if !claimed {
+		o.violate("epoch-adopt: host %d adopted unclaimed epoch %d", host, epoch)
+		return
+	}
+	if claimant != rp {
+		o.violate("epoch-adopt: host %d adopted epoch %d with RP %d, but epoch was claimed by %d",
+			host, epoch, rp, claimant)
+		return
+	}
+	if epoch < o.fo.epochOf[host] {
+		o.violate("epoch-adopt: host %d regressed from epoch %d to %d",
+			host, o.fo.epochOf[host], epoch)
+		return
+	}
+	if epoch == o.fo.epochOf[host] && o.fo.rpOf[host] != rp {
+		o.violate("epoch-adopt: host %d switched RP %d→%d within epoch %d",
+			host, o.fo.rpOf[host], rp, epoch)
+		return
+	}
+	o.fo.epochOf[host] = epoch
+	o.fo.rpOf[host] = rp
+}
+
+// OnFenced observes one control message rejected by the epoch fence.
+func (o *Oracle) OnFenced() {
+	if o.fo == nil {
+		o.violate("fenced: failover mode not enabled")
+		return
+	}
+	o.fo.fenced++
+}
+
+// finishFailover runs the failover-mode end-of-run cross-checks; cmp is
+// Finish's conservation comparator.
+func (o *Oracle) finishFailover(t Totals, cmp func(name string, oracle, session int64)) {
+	cmp("failovers", o.fo.claims, t.Failovers)
+	cmp("fenced-stale", o.fo.fenced, t.FencedStale)
+	if len(o.fo.claimedBy) == 0 {
+		o.record("failover: mode enabled but no epoch was ever claimed")
+	}
+	// Per-host convergence is deliberately NOT asserted here: survivors
+	// legitimately finish on the max epoch while crashed hosts freeze on
+	// whatever view they held, so the per-adoption monotonicity and
+	// claimed-epoch checks above are the whole invariant.
+}

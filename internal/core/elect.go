@@ -1,0 +1,74 @@
+package core
+
+import (
+	"slices"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/mtree"
+)
+
+// Electorate is the deterministic RP-election index used by the failover
+// layer (rpproto): over the currently-active client set it answers "who is
+// the best coordinator candidate" in O(1), and absorbs churn (a candidate
+// declared dead, an ex-RP re-admitted) in O(depth).
+//
+// The metric is the Algorithm-1 class ranking read at the tree root: the
+// active client with the smallest (DelayFromRoot, peer ID) key. That is
+// exactly the client every Algorithm-1 strategy would rank first within the
+// root's competitive class — the natural meet-router surrogate — and it is
+// already what the byKey tree aggregate (treeagg.go) maintains per node, so
+// Best is a single slot read and Leave/Join reuse setActive's root-path
+// repair. Because the ranking is a pure function of (tree, active set),
+// every survivor that evaluates it over the same view computes the same
+// winner: election needs no agreement round, only a shared deterministic
+// rule (the epoch fence arbitrates the views that do diverge).
+type Electorate struct {
+	t   *mtree.Tree
+	agg *treeAgg
+}
+
+// NewElectorate builds the index with every tree client an active candidate.
+func NewElectorate(t *mtree.Tree) *Electorate {
+	return &Electorate{t: t, agg: newTreeAgg(t)}
+}
+
+// Active reports whether v is currently a candidate.
+func (e *Electorate) Active(v graph.NodeID) bool {
+	return int(v) >= 0 && int(v) < len(e.agg.active) && e.agg.active[v]
+}
+
+// Leave withdraws a candidate (idempotent): O(depth) aggregate repair.
+func (e *Electorate) Leave(v graph.NodeID) { e.agg.setActive(v, false) }
+
+// Join re-admits a candidate (idempotent): O(depth) aggregate repair.
+func (e *Electorate) Join(v graph.NodeID) { e.agg.setActive(v, true) }
+
+// Best returns the active client with the smallest (DelayFromRoot, peer ID)
+// key, or graph.None when no candidate remains. O(1): the root's aggregate
+// summarises the whole tree.
+func (e *Electorate) Best() graph.NodeID {
+	return e.agg.byKey[e.t.Root][0].peer
+}
+
+// ElectionOrder returns every client of the tree sorted by the Electorate's
+// metric — the full deterministic succession line, with ElectionOrder(t)[0]
+// == NewElectorate(t).Best(). The churn driver uses it to aim crash waves at
+// successive expected winners; tests pin the agreement with Electorate.
+func ElectionOrder(t *mtree.Tree) []graph.NodeID {
+	order := slices.Clone(t.Clients)
+	slices.SortFunc(order, func(a, b graph.NodeID) int {
+		da, db := t.DelayFromRoot[a], t.DelayFromRoot[b]
+		switch {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	})
+	return order
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/mtree"
+	"rmcast/internal/rng"
+	"rmcast/internal/topology"
+)
+
+// electNet builds a realistic (tree + cross links) network for election
+// tests.
+func electNet(t testing.TB, routers int, seed uint64) *topology.Network {
+	t.Helper()
+	cfg := topology.DefaultConfig(routers)
+	net, err := topology.Generate(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestElectionOrderAgreesWithBest pins the succession-line contract:
+// ElectionOrder's head is exactly the electorate's Best, and after removing
+// the head the next entry wins — for every prefix of the line.
+func TestElectionOrderAgreesWithBest(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		net := electNet(t, 60, seed)
+		tree := mtree.MustBuild(net)
+		order := ElectionOrder(tree)
+		if len(order) != len(net.Clients) {
+			t.Fatalf("seed %d: order covers %d of %d clients", seed, len(order), len(net.Clients))
+		}
+		e := NewElectorate(tree)
+		for i, want := range order {
+			if got := e.Best(); got != want {
+				t.Fatalf("seed %d: after %d departures Best = %d, order says %d",
+					seed, i, got, want)
+			}
+			e.Leave(want)
+		}
+		if got := e.Best(); got != graph.None {
+			t.Fatalf("seed %d: empty electorate Best = %d, want None", seed, got)
+		}
+	}
+}
+
+// TestElectorateRejoin: a departed candidate that rejoins is eligible again,
+// and the winner reverts.
+func TestElectorateRejoin(t *testing.T) {
+	net := electNet(t, 40, 3)
+	tree := mtree.MustBuild(net)
+	order := ElectionOrder(tree)
+	e := NewElectorate(tree)
+	e.Leave(order[0])
+	if got := e.Best(); got != order[1] {
+		t.Fatalf("Best after departure = %d, want %d", got, order[1])
+	}
+	if e.Active(order[0]) {
+		t.Fatal("departed candidate still active")
+	}
+	e.Join(order[0])
+	if !e.Active(order[0]) {
+		t.Fatal("rejoined candidate not active")
+	}
+	if got := e.Best(); got != order[0] {
+		t.Fatalf("Best after rejoin = %d, want %d", got, order[0])
+	}
+}
+
+// TestElectorateChurnAgreesWithScan runs random leave/join churn and checks
+// the O(depth) electorate against a brute-force scan of the election order
+// at every step.
+func TestElectorateChurnAgreesWithScan(t *testing.T) {
+	net := electNet(t, 60, 11)
+	tree := mtree.MustBuild(net)
+	order := ElectionOrder(tree)
+	e := NewElectorate(tree)
+	active := make(map[graph.NodeID]bool, len(order))
+	for _, c := range order {
+		active[c] = true
+	}
+	scan := func() graph.NodeID {
+		for _, c := range order {
+			if active[c] {
+				return c
+			}
+		}
+		return graph.None
+	}
+	r := rng.New(99)
+	for step := 0; step < 500; step++ {
+		c := order[r.Intn(len(order))]
+		if active[c] {
+			active[c] = false
+			e.Leave(c)
+		} else {
+			active[c] = true
+			e.Join(c)
+		}
+		if got, want := e.Best(), scan(); got != want {
+			t.Fatalf("step %d: Best = %d, scan says %d", step, got, want)
+		}
+	}
+}

@@ -30,6 +30,11 @@ func ResultDigest(res *protocol.Result) string {
 		// existed — stay byte-identical.
 		fmt.Fprintf(h, "coded=%d codeddup=%d\n", s.CodedSymbols, s.CodedDuplicates)
 	}
+	if s.Failovers != 0 || s.FencedStale != 0 {
+		// Failover runs only — conditional for the same reason as the coded
+		// line: legacy digests predate the failover counters.
+		fmt.Fprintf(h, "failovers=%d fenced=%d\n", s.Failovers, s.FencedStale)
+	}
 	fmt.Fprintf(h, "lat n=%d mean=%s var=%s min=%s max=%s\n",
 		s.Latency.Count(), f(s.Latency.Mean()), f(s.Latency.Variance()),
 		f(s.Latency.Min()), f(s.Latency.Max()))

@@ -8,8 +8,10 @@ package experiment
 import (
 	"fmt"
 
+	"rmcast/internal/core"
 	"rmcast/internal/fault"
 	"rmcast/internal/lsr"
+	"rmcast/internal/mtree"
 	"rmcast/internal/protocol"
 	"rmcast/internal/protocol/ack"
 	"rmcast/internal/protocol/coop"
@@ -34,6 +36,11 @@ var AblationProtocols = []string{"RP", "RP-AWARE", "RP-NOSRC", "RP-NAK", "RP-SUB
 // the paper's three, the hardened RP, and the cooperative coded engine.
 var ChaosProtocols = []string{"SRM", "RMA", "RP", "RP-RESILIENT", "COOP"}
 
+// ChurnProtocols are the engines compared by the churn sweep (churn.go):
+// the flooding baseline, plain RP, the hardened RP, and the coordinated
+// failover mode whose RP the churn driver deliberately kills.
+var ChurnProtocols = []string{"SRM", "RP", "RP-RESILIENT", "RP-FAILOVER"}
+
 // NewEngine constructs a protocol engine by name. Recognised names:
 //
 //	SRM          — Scalable Reliable Multicast baseline
@@ -45,6 +52,8 @@ var ChaosProtocols = []string{"SRM", "RMA", "RP", "RP-RESILIENT", "COOP"}
 //	RP-SUBGROUP  — RP with source subgroup-multicast repairs ([4])
 //	RP-RESILIENT — RP with the crash/churn hardening layer (retry budgets,
 //	               dead-peer suspicion, roster-driven replanning)
+//	RP-FAILOVER  — coordinated-RP mode with epoch-fenced deterministic
+//	               re-election and state handover when the RP crashes
 //	SRC          — pure unicast source recovery (ablation floor)
 //	SRM-HONEST   — SRM without the paper's idealised one-flood-per-packet
 //	               repair cost model (distributed suppression only)
@@ -94,6 +103,10 @@ func NewEngine(name string) (protocol.Engine, error) {
 		opt := rpproto.DefaultOptions()
 		opt.Resilience = rpproto.DefaultResilience()
 		return rpproto.New(opt), nil
+	case "RP-FAILOVER":
+		opt := rpproto.DefaultOptions()
+		opt.Failover = rpproto.DefaultFailover()
+		return rpproto.New(opt), nil
 	case "SRC":
 		return srcrec.New(srcrec.DefaultOptions()), nil
 	case "FEC":
@@ -138,6 +151,11 @@ type RunSpec struct {
 	// cell without Chaos.
 	Chaos     *fault.ChaosParams
 	FaultSeed uint64
+	// Churn, when non-nil, generates a mobility-style churn schedule
+	// instead: crash waves aimed at the election succession line
+	// (core.ElectionOrder) plus background client blackouts, from
+	// FaultSeed. Mutually exclusive with Chaos (Chaos wins if both set).
+	Churn *fault.ChurnParams
 	// Mutation, when non-nil and non-empty, installs the adversarial
 	// message-plane mutator (duplication, reordering, corruption, repair
 	// storms — fault.Mutator) on top of whatever schedule Chaos generated.
@@ -168,6 +186,18 @@ func Run(spec RunSpec) (*protocol.Result, error) {
 	if spec.Chaos != nil {
 		sched := fault.Generate(*spec.Chaos, topo.Clients, len(topo.Loss), rng.New(spec.FaultSeed))
 		sched.Mutation = spec.Mutation
+		if !sched.Empty() {
+			cfg.Fault = sched
+		}
+	} else if spec.Churn != nil {
+		// The churn driver aims its crash waves at the deterministic
+		// election succession line, which is a pure function of the tree —
+		// so the same schedule confronts every protocol on this topology.
+		tree, terr := mtree.Build(topo)
+		if terr != nil {
+			return nil, terr
+		}
+		sched := fault.GenerateChurn(*spec.Churn, core.ElectionOrder(tree), rng.New(spec.FaultSeed))
 		if !sched.Empty() {
 			cfg.Fault = sched
 		}
@@ -207,15 +237,17 @@ type Point struct {
 	Bandwidth float64 // recovery hops per packet recovered
 	Delivery  float64 // fraction of (client, packet) pairs delivered
 	P99       float64 // p99 recovery latency, ms
+	Failovers float64 // mean coordinator claims past bootstrap per run
 	Losses    int64
 	Clients   int
 	// LatSamples and BwSamples hold the per-replicate values (confidence
 	// intervals across traffic seeds); DelSamples and P99Samples likewise
-	// for the chaos metrics.
+	// for the chaos metrics, FoSamples for the churn failover counts.
 	LatSamples []float64
 	BwSamples  []float64
 	DelSamples []float64
 	P99Samples []float64
+	FoSamples  []float64
 }
 
 // merge folds another replicate into the point with equal weight by loss
@@ -228,6 +260,7 @@ func (p *Point) merge(o Point) {
 	if np+no > 0 {
 		p.Delivery = (p.Delivery*float64(np) + o.Delivery*float64(no)) / float64(np+no)
 		p.P99 = (p.P99*float64(np) + o.P99*float64(no)) / float64(np+no)
+		p.Failovers = (p.Failovers*float64(np) + o.Failovers*float64(no)) / float64(np+no)
 	}
 	tot := p.Losses + o.Losses
 	if tot == 0 {
@@ -245,6 +278,7 @@ func (p *Point) merge(o Point) {
 	p.BwSamples = append(p.BwSamples, o.BwSamples...)
 	p.DelSamples = append(p.DelSamples, o.DelSamples...)
 	p.P99Samples = append(p.P99Samples, o.P99Samples...)
+	p.FoSamples = append(p.FoSamples, o.FoSamples...)
 }
 
 // Row is one x-position of a figure with a point per protocol.
@@ -263,7 +297,7 @@ type Figure struct {
 	Name      string
 	XLabel    string
 	YLabel    string
-	Metric    string // "latency", "bandwidth", "delivery", or "p99"
+	Metric    string // "latency", "bandwidth", "delivery", "p99", or "failovers"
 	Protocols []string
 	Rows      []Row
 }
@@ -277,6 +311,8 @@ func (f *Figure) Value(p Point) float64 {
 		return p.Delivery
 	case "p99":
 		return p.P99
+	case "failovers":
+		return p.Failovers
 	}
 	return p.Latency
 }

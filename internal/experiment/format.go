@@ -104,6 +104,8 @@ func (f *Figure) ci(p Point) float64 {
 		samples = p.DelSamples
 	case "p99":
 		samples = p.P99Samples
+	case "failovers":
+		samples = p.FoSamples
 	}
 	n := len(samples)
 	if n < 2 {

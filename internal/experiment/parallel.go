@@ -78,11 +78,13 @@ func cellPoint(res *protocol.Result) Point {
 		Bandwidth:  res.BandwidthPerRecovery(),
 		Delivery:   res.DeliveryRatio(),
 		P99:        res.LatencyQuantile(0.99),
+		Failovers:  float64(res.Stats.Failovers),
 		Losses:     res.Stats.Losses,
 		Clients:    res.Clients,
 		LatSamples: []float64{res.AvgLatency()},
 		BwSamples:  []float64{res.BandwidthPerRecovery()},
 		DelSamples: []float64{res.DeliveryRatio()},
 		P99Samples: []float64{res.LatencyQuantile(0.99)},
+		FoSamples:  []float64{float64(res.Stats.Failovers)},
 	}
 }

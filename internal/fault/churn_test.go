@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+)
+
+func TestValidateRoles(t *testing.T) {
+	src, rp := graph.NodeID(0), graph.NodeID(5)
+	srcCrash := (&Schedule{}).CrashHost(100, src)
+	rpCrash := (&Schedule{}).CrashWindow(rp, 100, 200)
+	bystander := (&Schedule{}).CrashHost(100, 9)
+
+	// Source crashes are rejected unconditionally — even with failover.
+	for _, fo := range []bool{false, true} {
+		err := srcCrash.ValidateRoles(src, rp, fo)
+		if err == nil {
+			t.Fatalf("source crash accepted (failover=%v)", fo)
+		}
+		if !strings.Contains(err.Error(), "source") {
+			t.Fatalf("source-crash error does not name the role: %v", err)
+		}
+	}
+	// RP crashes: rejected without failover capability, accepted with.
+	if err := rpCrash.ValidateRoles(src, rp, false); err == nil {
+		t.Fatal("RP crash accepted without failover capability")
+	} else if !strings.Contains(err.Error(), "failover") {
+		t.Fatalf("RP-crash error does not point at failover: %v", err)
+	}
+	if err := rpCrash.ValidateRoles(src, rp, true); err != nil {
+		t.Fatalf("RP crash rejected despite failover capability: %v", err)
+	}
+	// Non-role hosts are always fine; unknown RP (graph.None) never matches.
+	if err := bystander.ValidateRoles(src, rp, false); err != nil {
+		t.Fatalf("bystander crash rejected: %v", err)
+	}
+	if err := rpCrash.ValidateRoles(src, graph.None, false); err != nil {
+		t.Fatalf("schedule rejected with no RP designated: %v", err)
+	}
+	var nilSched *Schedule
+	if err := nilSched.ValidateRoles(src, rp, false); err != nil {
+		t.Fatalf("nil schedule rejected: %v", err)
+	}
+}
+
+func TestCrashesHost(t *testing.T) {
+	s := (&Schedule{}).CrashWindow(3, 100, 200).LinkDown(50, 1)
+	if !s.CrashesHost(3) {
+		t.Fatal("CrashesHost misses a crashed host")
+	}
+	if s.CrashesHost(1) {
+		t.Fatal("CrashesHost flags a link event's ID as a host crash")
+	}
+	var nilSched *Schedule
+	if nilSched.CrashesHost(3) {
+		t.Fatal("nil schedule crashes hosts")
+	}
+}
+
+// TestGenerateChurnDeterministic: the schedule is a pure function of
+// (params, ranked, seed).
+func TestGenerateChurnDeterministic(t *testing.T) {
+	ranked := []graph.NodeID{4, 9, 2, 7, 11, 3, 8, 6, 10, 5}
+	p := ChurnParams{Rate: 0.75, Span: 1000}
+	a := GenerateChurn(p, ranked, rng.New(42))
+	b := GenerateChurn(p, ranked, rng.New(42))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same inputs, different schedules")
+	}
+	c := GenerateChurn(p, ranked, rng.New(43))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seed does not influence the schedule")
+	}
+}
+
+// TestGenerateChurnTargetsSuccession: at full rate the first Waves entries
+// of the succession line are each hit by a crash wave, wave times ascend
+// within [0.15, 0.65]·Span, and rate 0 yields an empty schedule.
+func TestGenerateChurnTargetsSuccession(t *testing.T) {
+	ranked := []graph.NodeID{4, 9, 2, 7, 11, 3, 8, 6, 10, 5}
+	const span = 1000.0
+	s := GenerateChurn(ChurnParams{Rate: 1, Span: span}, ranked, rng.New(7))
+	crashAt := map[graph.NodeID]float64{}
+	for _, ev := range s.Events {
+		if ev.Kind == CrashHost {
+			if _, dup := crashAt[ev.Node]; !dup {
+				crashAt[ev.Node] = ev.At
+			}
+		}
+	}
+	prev := 0.0
+	for i, c := range ranked[:4] { // default Waves = 4
+		at, ok := crashAt[c]
+		if !ok {
+			t.Fatalf("wave %d target %d never crashed", i, c)
+		}
+		if at < 0.15*span || at > 0.65*span {
+			t.Fatalf("wave %d at %g outside [0.15, 0.65]·Span", i, at)
+		}
+		if at < prev {
+			t.Fatalf("wave %d at %g before previous wave %g", i, at, prev)
+		}
+		prev = at
+	}
+	if !GenerateChurn(ChurnParams{Rate: 0, Span: span}, ranked, rng.New(7)).Empty() {
+		t.Fatal("rate 0 generated faults")
+	}
+}
+
+// TestGenerateChurnPermanentFrac: PermanentFrac < 0 disables permanent
+// waves — every crash in the schedule gets a recovery.
+func TestGenerateChurnPermanentFrac(t *testing.T) {
+	ranked := []graph.NodeID{4, 9, 2, 7, 11, 3, 8, 6, 10, 5}
+	s := GenerateChurn(ChurnParams{Rate: 1, Span: 1000, PermanentFrac: -1},
+		ranked, rng.New(5))
+	crashes, recovers := 0, 0
+	for _, ev := range s.Events {
+		switch ev.Kind {
+		case CrashHost:
+			crashes++
+		case RecoverHost:
+			recovers++
+		}
+	}
+	if crashes == 0 || crashes != recovers {
+		t.Fatalf("PermanentFrac<0: %d crashes, %d recoveries", crashes, recovers)
+	}
+}

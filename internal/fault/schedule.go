@@ -219,3 +219,47 @@ func (s *Schedule) Validate(numNodes, numLinks int) error {
 	}
 	return nil
 }
+
+// CrashesHost reports whether any event in the schedule crashes h.
+func (s *Schedule) CrashesHost(h graph.NodeID) bool {
+	if s == nil {
+		return false
+	}
+	for _, e := range s.Events {
+		if e.Kind == CrashHost && e.Node == h {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateRoles layers role-aware checks on top of Validate, with the two
+// protected roles kept distinct:
+//
+//   - the SOURCE may never crash, whatever the engine: the liveness
+//     invariant (every gap at a live client is eventually filled) is
+//     conditioned on the source staying up, exactly as the paper's
+//     source-as-last-resort argument requires;
+//   - the RP/meet-router may crash only when the engine carries the
+//     failover capability (rpproto's epoch-fenced re-election) — without
+//     it, killing the coordinator makes every result vacuous, so the
+//     schedule is rejected with instructions instead.
+//
+// rp is graph.None for engines with no coordinator role.
+func (s *Schedule) ValidateRoles(source, rp graph.NodeID, rpFailover bool) error {
+	if s == nil {
+		return nil
+	}
+	for i, e := range s.Events {
+		if e.Kind != CrashHost {
+			continue
+		}
+		if e.Node == source {
+			return fmt.Errorf("fault: event %d crashes the source (host %d); source crashes are always rejected — liveness is conditioned on the source staying up", i, e.Node)
+		}
+		if rp != graph.None && e.Node == rp && !rpFailover {
+			return fmt.Errorf("fault: event %d crashes the RP (host %d) but the engine has no failover capability; enable rpproto failover (RP-FAILOVER) or keep the coordinator out of the schedule", i, e.Node)
+		}
+	}
+	return nil
+}

@@ -80,35 +80,53 @@ const minParallelClients = 16
 
 // parallelEligible returns the engine's shard-cloning interface when the
 // whole configuration lies inside the parallel runner's exactness envelope,
-// nil otherwise (see the package comment for the envelope's rationale).
-func (s *Session) parallelEligible() ShardCloner {
+// or nil plus a human-readable reason otherwise (see the package comment for
+// the envelope's rationale). The reason is surfaced through
+// Result.SerialReason so callers stop guessing why a -simworkers run stayed
+// serial.
+func (s *Session) parallelEligible() (ShardCloner, string) {
 	if s.cfg.SimWorkers < 2 {
-		return nil
+		return nil, ""
 	}
 	cl, ok := s.engine.(ShardCloner)
 	if !ok {
-		return nil
+		return nil, fmt.Sprintf("engine %s cannot be sharded (no CloneForShard)", s.engine.Name())
 	}
-	if s.cfg.Detection != DetectIdeal || s.Trace != nil {
-		return nil
+	if s.cfg.Detection != DetectIdeal {
+		return nil, "non-ideal loss detection (gap/session detection is order-sensitive)"
+	}
+	if s.Trace != nil {
+		return nil, "trace hooks installed (global event order would be lost)"
 	}
 	// Net-level modes (set from cfg, but tests may also set them directly).
-	if s.Net.Queue != nil || s.Net.Jitter != 0 || s.Net.ControlLoss ||
-		s.Net.OnSend != nil || s.Net.OnDrop != nil {
-		return nil
+	if s.Net.Queue != nil {
+		return nil, "queued routers (queueing state is order-sensitive)"
+	}
+	if s.Net.Jitter != 0 {
+		return nil, "link jitter draws from an order-sensitive rng stream"
+	}
+	if s.Net.ControlLoss {
+		return nil, "lossy control plane draws from an order-sensitive rng stream"
+	}
+	if s.Net.OnSend != nil || s.Net.OnDrop != nil {
+		return nil, "net-level observation hooks installed"
 	}
 	if len(s.Topo.Clients) < minParallelClients {
-		return nil
+		return nil, fmt.Sprintf("group too small to shard (%d clients < %d)",
+			len(s.Topo.Clients), minParallelClients)
 	}
 	if f := s.cfg.Fault; !f.Empty() {
 		// Crash/outage windows are pure time lookups and shard cleanly;
 		// burst chains and the message mutator draw from streams whose
 		// order a partitioned run cannot reproduce.
-		if len(f.Burst) > 0 || !f.Mutation.Empty() {
-			return nil
+		if len(f.Burst) > 0 {
+			return nil, "burst-loss faults draw from order-sensitive rng chains"
+		}
+		if !f.Mutation.Empty() {
+			return nil, "message-plane mutation draws from an order-sensitive rng stream"
 		}
 	}
-	return cl
+	return cl, ""
 }
 
 // shardRun is one shard's execution state.
@@ -123,18 +141,18 @@ type shardRun struct {
 }
 
 // planParallel resolves the eligibility check into a concrete partition,
-// returning nils when the run must stay serial (ineligible configuration,
-// degenerate partition, or no usable lookahead).
-func (s *Session) planParallel() (ShardCloner, *mtree.Partition) {
-	cloner := s.parallelEligible()
+// returning nils plus a reason when the run must stay serial (ineligible
+// configuration, degenerate partition, or no usable lookahead).
+func (s *Session) planParallel() (ShardCloner, *mtree.Partition, string) {
+	cloner, reason := s.parallelEligible()
 	if cloner == nil {
-		return nil, nil
+		return nil, nil, reason
 	}
 	part := mtree.PartitionTree(s.Tree, shardCount(len(s.Topo.Clients)))
 	if part.K < 2 || part.Lookahead <= 0 || math.IsInf(part.Lookahead, 1) {
-		return nil, nil
+		return nil, nil, "degenerate tree partition (no usable lookahead)"
 	}
-	return cloner, part
+	return cloner, part, ""
 }
 
 // ParallelEligible reports whether Run will genuinely execute sharded under
@@ -142,15 +160,19 @@ func (s *Session) planParallel() (ShardCloner, *mtree.Partition) {
 // silently fall back to the serial path. The scaling sweep uses it to label
 // its speedup cells honestly.
 func (s *Session) ParallelEligible() bool {
-	cloner, part := s.planParallel()
+	cloner, part, _ := s.planParallel()
 	return cloner != nil && part != nil && cloner.CloneForShard() != nil
 }
 
 // runSharded executes the session on the conservative parallel engine,
-// returning nil when the configuration requires the serial path.
+// returning nil when the configuration requires the serial path (recording
+// why in s.serialReason for the serial Result to surface).
 func (s *Session) runSharded() *Result {
-	cloner, part := s.planParallel()
+	cloner, part, reason := s.planParallel()
 	if cloner == nil {
+		if s.cfg.SimWorkers >= 2 {
+			s.serialReason = reason
+		}
 		return nil
 	}
 	k := part.K
@@ -162,6 +184,9 @@ func (s *Session) runSharded() *Result {
 	engines := make([]Engine, k)
 	for i := range engines {
 		if engines[i] = cloner.CloneForShard(); engines[i] == nil {
+			s.serialReason = fmt.Sprintf(
+				"engine %s cannot shard under its current options (run-time replanning or failover)",
+				s.engine.Name())
 			return nil
 		}
 	}
@@ -394,6 +419,8 @@ func (s *Session) mergeShards(shards []*shardRun, master *check.Oracle,
 		st.Malformed += sh.sub.stats.Malformed
 		st.CodedSymbols += sh.sub.stats.CodedSymbols
 		st.CodedDuplicates += sh.sub.stats.CodedDuplicates
+		st.Failovers += sh.sub.stats.Failovers
+		st.FencedStale += sh.sub.stats.FencedStale
 		hops.Data += sh.net.Hops.Data
 		hops.Request += sh.net.Hops.Request
 		hops.Repair += sh.net.Hops.Repair
@@ -460,6 +487,8 @@ func (s *Session) mergeShards(shards []*shardRun, master *check.Oracle,
 			Malformed:          st.Malformed,
 			CodedSymbols:       st.CodedSymbols,
 			CodedDuplicates:    st.CodedDuplicates,
+			Failovers:          st.Failovers,
+			FencedStale:        st.FencedStale,
 			Delivered:          st.Delivered,
 			Unrecovered:        st.Unrecovered,
 			UnrecoveredCrashed: st.UnrecoveredCrashed,
@@ -488,6 +517,7 @@ func (s *Session) mergeShards(shards []*shardRun, master *check.Oracle,
 		SimTime:          endTime,
 		LatencyHist:      latHist,
 		Complete:         complete,
+		Sharded:          true,
 	}
 }
 

@@ -49,6 +49,18 @@ type Engine interface {
 	OnPacket(host graph.NodeID, pkt sim.Packet)
 }
 
+// Coordinator is optionally implemented by engines that route recovery
+// through a designated coordinator host (an RP/meet-router). The session
+// uses it after Attach to validate fault schedules role-aware: crashing the
+// coordinator is only admissible when the engine can fail over
+// (fault.Schedule.ValidateRoles).
+type Coordinator interface {
+	// CoordinatorInfo returns the initially-designated coordinator
+	// (graph.None when the group is empty) and whether the engine can
+	// re-elect a replacement when it crashes.
+	CoordinatorInfo() (rp graph.NodeID, failover bool)
+}
+
 // FaultAware is optionally implemented by engines that react to host
 // crash/recover transitions of an installed fault schedule (Config.Fault):
 // parking a crashed client's retry timers so a permanent crash cannot wedge
@@ -225,6 +237,12 @@ type Session struct {
 	// engine called EnableCodedRecovery): per (client, block), the set of
 	// distinct coded symbols held, mirrored independently by the oracle.
 	coded *codedRecovery
+
+	// failover marks a session whose engine runs the epoch-fenced
+	// coordinator mode (EnableFailover); serialReason records why a
+	// SimWorkers ≥ 2 run fell back to the serial path (see parallel.go).
+	failover     bool
+	serialReason string
 }
 
 // codedRecovery holds the session-owned coded-symbol state: blocks of k
@@ -283,6 +301,12 @@ type Stats struct {
 	// idempotently. Both are zero unless the engine uses coded recovery.
 	CodedSymbols    int64
 	CodedDuplicates int64
+	// Failovers counts RP re-elections: coordinator claims for epochs past
+	// the bootstrap epoch. FencedStale counts control messages rejected by
+	// the epoch fence (stale-epoch requests or announces). Both are zero
+	// unless the engine runs the epoch-fenced failover mode.
+	Failovers   int64
+	FencedStale int64
 	// Latency summarises per-recovery delay (detection → repair), ms.
 	Latency metrics.Summary
 }
@@ -304,6 +328,13 @@ type Result struct {
 	PerClientLatency map[graph.NodeID]metrics.Summary
 	// Complete is false if the run hit MaxEvents before quiescing.
 	Complete bool
+	// Sharded reports whether the run actually executed on the conservative
+	// parallel engine. SerialReason, set only when Config.SimWorkers
+	// requested sharding but the run fell back to the serial path, names the
+	// first eligibility condition that failed (see parallelEligible) — so
+	// users stop guessing why -simworkers made no difference.
+	Sharded      bool
+	SerialReason string
 	// Violations lists what the invariant oracle found (nil on a clean
 	// run): end-of-run liveness and conservation findings always, plus
 	// event-level safety findings under CheckRecord. The experiment
@@ -411,13 +442,11 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 		if err := cfg.Fault.Validate(topo.NumNodes(), len(topo.Loss)); err != nil {
 			return nil, err
 		}
-		// The liveness invariant (every gap at a live client is eventually
-		// filled) is conditioned on the source staying up; reject schedules
-		// that crash it rather than report vacuous results.
-		for _, e := range cfg.Fault.Events {
-			if e.Kind == fault.CrashHost && e.Node == topo.Source {
-				return nil, fmt.Errorf("protocol: fault schedule crashes the source")
-			}
+		// Role-aware validation, pass 1: the source may never crash (the
+		// liveness invariant is conditioned on it staying up). The engine's
+		// coordinator role, if any, is only known after Attach — pass 2 below.
+		if err := cfg.Fault.ValidateRoles(topo.Source, graph.None, false); err != nil {
+			return nil, fmt.Errorf("protocol: %w", err)
 		}
 		net.InstallFault(fault.NewState(cfg.Fault, root.Split()))
 	}
@@ -459,6 +488,17 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 	src := topo.Source
 	s.Net.SetHandler(src, func(pkt sim.Packet) { s.onDeliver(src, pkt) })
 	engine.Attach(s)
+	if !cfg.Fault.Empty() {
+		// Role-aware validation, pass 2: with the engine attached its
+		// coordinator role is known — a schedule that crashes the RP is only
+		// admissible when the engine can fail over.
+		if co, ok := engine.(Coordinator); ok {
+			rp, failover := co.CoordinatorInfo()
+			if err := cfg.Fault.ValidateRoles(topo.Source, rp, failover); err != nil {
+				return nil, fmt.Errorf("protocol: %w", err)
+			}
+		}
+	}
 	if net.Fault != nil {
 		fa, _ := engine.(FaultAware)
 		net.OnCrash = func(h graph.NodeID) {
@@ -909,6 +949,49 @@ func (s *Session) NoteMalformed() {
 	}
 }
 
+// EnableFailover switches the session (and its oracle) into epoch-fenced
+// coordinator mode. Engines call it from Attach; the oracle then enforces
+// the failover invariants — at most one coordinator claim per epoch, epoch
+// monotonicity per host — independently of the engine's own guards.
+func (s *Session) EnableFailover() {
+	if s.failover {
+		return
+	}
+	s.failover = true
+	if s.oracle != nil {
+		s.oracle.EnableFailover(s.numNodes)
+	}
+}
+
+// NoteRPClaim records a coordinator claiming an epoch: the bootstrap
+// designation (epoch 1) is free; every later claim is a failover. The oracle
+// independently asserts claim uniqueness and freshness.
+func (s *Session) NoteRPClaim(epoch int, rp graph.NodeID) {
+	if epoch > 1 {
+		s.stats.Failovers++
+	}
+	if s.oracle != nil {
+		s.oracle.OnRPClaim(epoch, int(rp))
+	}
+}
+
+// NoteEpochAdopt records host h adopting (epoch, rp) as its coordinator
+// view. The oracle asserts per-host epoch monotonicity and that the adopted
+// view matches the epoch's claimed coordinator.
+func (s *Session) NoteEpochAdopt(h graph.NodeID, epoch int, rp graph.NodeID) {
+	if s.oracle != nil {
+		s.oracle.OnEpochAdopt(int(h), epoch, int(rp))
+	}
+}
+
+// NoteFencedStale counts one control message rejected by the epoch fence.
+func (s *Session) NoteFencedStale() {
+	s.stats.FencedStale++
+	if s.oracle != nil {
+		s.oracle.OnFenced()
+	}
+}
+
 // Run executes the whole session and returns the result.
 func (s *Session) Run() *Result {
 	if res := s.runSharded(); res != nil {
@@ -1027,6 +1110,8 @@ func (s *Session) Run() *Result {
 			Malformed:          s.stats.Malformed,
 			CodedSymbols:       s.stats.CodedSymbols,
 			CodedDuplicates:    s.stats.CodedDuplicates,
+			Failovers:          s.stats.Failovers,
+			FencedStale:        s.stats.FencedStale,
 			Delivered:          s.stats.Delivered,
 			Unrecovered:        s.stats.Unrecovered,
 			UnrecoveredCrashed: s.stats.UnrecoveredCrashed,
@@ -1055,5 +1140,6 @@ func (s *Session) Run() *Result {
 		SimTime:          s.Eng.Now(),
 		LatencyHist:      s.latHist,
 		Complete:         complete,
+		SerialReason:     s.serialReason,
 	}
 }

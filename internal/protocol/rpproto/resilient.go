@@ -189,8 +189,11 @@ func (e *Engine) OnRecover(h graph.NodeID) {
 		if a.parked {
 			a.parked = false
 			a.retry = 0
-			e.send(k.c, k.seq, a)
+			e.dispatchSend(k.c, k.seq, a)
 		}
+	}
+	if e.opt.Failover.Enabled {
+		e.foOnRecover(h)
 	}
 }
 

@@ -52,6 +52,11 @@ type Options struct {
 	// Resilience configures the crash/churn hardening layer (see
 	// resilient.go). The zero value keeps the paper-faithful engine.
 	Resilience Resilience
+	// Failover configures the coordinated-RP mode with epoch-fenced
+	// re-election (see failover.go). The zero value keeps the peer-list
+	// engine; when enabled it takes precedence over Resilience (the two
+	// harden different deployments and are not composed).
+	Failover Failover
 	// NoHoldFreshRequests disables request holding. By default a peer
 	// that receives a request for a packet it has not seen — but whose
 	// loss-free arrival time is still in the future — holds the request
@@ -94,6 +99,20 @@ type Engine struct {
 	suspectCount map[obs]int
 	skipUntil    map[obs]float64
 	dead         map[graph.NodeID]bool
+
+	// Failover state (see failover.go). elect is non-nil only when
+	// Failover.Enabled; maxClaimed/claimant form the epoch registry (the
+	// source-as-sequencer), the per-host maps each simulated host's view.
+	elect        *core.Electorate
+	initialRP    graph.NodeID
+	claimant     graph.NodeID
+	maxClaimed   int
+	epochOf      map[graph.NodeID]int
+	rpView       map[graph.NodeID]graph.NodeID
+	interregnum  map[graph.NodeID]bool
+	foDead       map[graph.NodeID]bool
+	rpTimeouts   map[graph.NodeID]int
+	promoteWatch map[graph.NodeID]*promoteState
 }
 
 // dedupCacheSize bounds the served-request dedup cache (see
@@ -138,11 +157,22 @@ func New(opt Options) *Engine {
 		suspectCount:  make(map[obs]int),
 		skipUntil:     make(map[obs]float64),
 		dead:          make(map[graph.NodeID]bool),
+		initialRP:     graph.None,
+		claimant:      graph.None,
+		epochOf:       make(map[graph.NodeID]int),
+		rpView:        make(map[graph.NodeID]graph.NodeID),
+		interregnum:   make(map[graph.NodeID]bool),
+		foDead:        make(map[graph.NodeID]bool),
+		rpTimeouts:    make(map[graph.NodeID]int),
+		promoteWatch:  make(map[graph.NodeID]*promoteState),
 	}
 }
 
 // Name implements protocol.Engine.
 func (e *Engine) Name() string {
+	if e.opt.Failover.Enabled {
+		return "RP-FAILOVER"
+	}
 	if e.opt.Resilience.Enabled {
 		return "RP-RESILIENT"
 	}
@@ -152,10 +182,12 @@ func (e *Engine) Name() string {
 // CloneForShard implements protocol.ShardCloner: a fresh engine with the
 // same options that adopts this (attached) engine's computed strategies
 // instead of replanning — the plans are read-only at run time, so shard
-// clones share them. The resilience layer is not shardable: its failure
-// detector replans into a shared roster at run time.
+// clones share them. The resilience layer is not shardable (its failure
+// detector replans into a shared roster at run time), and neither is
+// failover (election and the epoch registry are group-global run-time
+// state); both force the byte-exact serial fallback.
 func (e *Engine) CloneForShard() protocol.Engine {
-	if e.opt.Resilience.Enabled {
+	if e.opt.Resilience.Enabled || e.opt.Failover.Enabled {
 		return nil
 	}
 	cl := New(e.opt)
@@ -164,8 +196,15 @@ func (e *Engine) CloneForShard() protocol.Engine {
 }
 
 // Attach computes the strategies for every client with the core planner.
+// In failover mode recovery routes through the coordinator instead of the
+// per-client peer lists, so Attach bootstraps the electorate and the
+// epoch-1 view instead of planning.
 func (e *Engine) Attach(s *protocol.Session) {
 	e.s = s
+	if e.opt.Failover.Enabled {
+		e.initFailover()
+		return
+	}
 	if e.sharedPlans != nil {
 		e.strategies = e.sharedPlans
 		return
@@ -206,6 +245,16 @@ func (e *Engine) OnDetect(c graph.NodeID, seq int) {
 	}
 	a := &attempt{}
 	e.pending[k] = a
+	e.dispatchSend(c, seq, a)
+}
+
+// dispatchSend routes a fresh or resumed attempt through the mode's send
+// path: coordinator-routed (failover) or peer-list walk.
+func (e *Engine) dispatchSend(c graph.NodeID, seq int, a *attempt) {
+	if e.opt.Failover.Enabled {
+		e.foSend(c, seq, a)
+		return
+	}
 	e.send(c, seq, a)
 }
 
@@ -318,6 +367,30 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 			e.onRequest(host, pkt.Seq, pay.Requester)
 		case nak:
 			e.advance(host, pkt.Seq, pkt.From)
+		case foRequest:
+			if !e.opt.Failover.Enabled || !e.s.IsClient(pay.Requester) || pay.Epoch < 1 {
+				e.s.NoteMalformed()
+				return
+			}
+			e.foOnRequest(host, pkt.Seq, pay)
+		case foPromote:
+			if !e.opt.Failover.Enabled || pay.Epoch < 1 {
+				e.s.NoteMalformed()
+				return
+			}
+			e.foOnPromote(host, pay)
+		case foAnnounce:
+			if !e.opt.Failover.Enabled || pay.Epoch < 1 {
+				e.s.NoteMalformed()
+				return
+			}
+			e.foOnAnnounce(host, pay)
+		case foProbe:
+			if !e.opt.Failover.Enabled || !e.s.IsClient(pay.Requester) {
+				e.s.NoteMalformed()
+				return
+			}
+			e.foOnProbe(host, pay)
 		default:
 			e.s.NoteMalformed()
 		}
@@ -328,6 +401,10 @@ func (e *Engine) OnPacket(host graph.NodeID, pkt sim.Packet) {
 			delete(e.pending, k)
 		}
 		e.clearSuspicion(host, pkt.From)
+		if e.opt.Failover.Enabled {
+			// A served recovery is proof the coordinator path works again.
+			e.rpTimeouts[host] = 0
+		}
 	}
 }
 
@@ -412,4 +489,5 @@ var (
 	_ protocol.Engine       = (*Engine)(nil)
 	_ protocol.FaultAware   = (*Engine)(nil)
 	_ protocol.DedupAudited = (*Engine)(nil)
+	_ protocol.Coordinator  = (*Engine)(nil)
 )
