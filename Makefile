@@ -56,17 +56,22 @@ smoke-bench:
 	$(GO) test -run xxx -bench 'BenchmarkFigure5/n=50$$' -benchmem -benchtime 1x .
 	$(GO) test -run xxx -bench 'BenchmarkCoopRecovery/n=100/chaos' -benchmem -benchtime 1x .
 	$(GO) run ./cmd/rmsim -scaling -sizes 1000 -simworkers 4
+	$(GO) run ./cmd/rmsim -scaling -sizes 1000 -simworkers 4 -domainsize 64
 	$(GO) run ./cmd/rmsim -churn -routers 40 -packets 15
 	$(GO) test -run xxx -bench 'BenchmarkFailover$$' -benchmem -benchtime 1x .
 
 # Wall-clock serial-vs-sharded capture for the conservative parallel engine:
 # every scaling cell runs one serial and one sharded RP simulation (digest
 # equality enforced) and records both times as JSON for EXPERIMENTS.md.
-# Override PARALLEL_SIZES / SIMWORKERS to probe other points.
+# Override PARALLEL_SIZES / SIMWORKERS to probe other points; set
+# DOMAINSIZE to run the sharded half in hierarchical-domain mode (e.g.
+# `make bench-parallel PARALLEL_SIZES=200000,1000000 DOMAINSIZE=65536`
+# for the million-client tier).
 PARALLEL_SIZES ?= 1000,5000,20000,50000
 SIMWORKERS ?= 8
+DOMAINSIZE ?= 0
 bench-parallel:
-	$(GO) run ./cmd/rmsim -scaling -sizes $(PARALLEL_SIZES) -simworkers $(SIMWORKERS) -json \
+	$(GO) run ./cmd/rmsim -scaling -sizes $(PARALLEL_SIZES) -simworkers $(SIMWORKERS) -domainsize $(DOMAINSIZE) -json \
 		| tee BENCH_PARALLEL_$$(date +%Y-%m-%d).json
 
 # CPU+heap profile of a representative run; inspect with `go tool pprof`.

@@ -535,6 +535,50 @@ func BenchmarkParallelEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkHierarchicalDomains measures the hierarchical-domain execution
+// mode on the same 2000-client tree as BenchmarkParallelEngine: one full RP
+// run per iteration over a (domain count × worker count) grid, each cell
+// bit-identical to the serial run (gated by the golden-digest tests). The
+// domain axis varies Config.DomainClients — K = ⌈2000/size⌉ domains — and the
+// worker axis the goroutines executing them; on a single-core runner the
+// worker axis measures window/barrier overhead while the domain axis measures
+// the per-domain engine fixed costs, which must stay sublinear in K for the
+// million-client tier to work.
+func BenchmarkHierarchicalDomains(b *testing.B) {
+	topo, err := topology.GenerateTree(topology.DefaultTreeConfig(2000), rng.New(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, size := range []int{500, 250, 125} {
+		k := (len(topo.Clients) + size - 1) / size
+		for _, workers := range []int{2, 8} {
+			b.Run(fmt.Sprintf("d=%d/w=%d", k, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					eng, err := experiment.NewEngine("RP")
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg := protocol.Config{Packets: benchPackets, Interval: 50,
+						SimWorkers: workers, DomainClients: size}
+					s, err := protocol.NewSession(topo, eng, cfg, 17)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res := s.Run()
+					if !res.Complete || res.Stats.Unrecovered > 0 {
+						b.Fatal("incomplete domain run")
+					}
+					if !res.Sharded || res.Domains != k {
+						b.Fatalf("expected %d domains, got sharded=%v domains=%d (%s)",
+							k, res.Sharded, res.Domains, res.SerialReason)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFailover measures the cost of an epoch-fenced RP failover: one
 // full RP-FAILOVER run per iteration with the initial coordinator crashed
 // permanently mid-transmission, strict oracle on, so each iteration covers

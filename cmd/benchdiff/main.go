@@ -140,7 +140,7 @@ func allocsRegressed(old, new, threshold float64) bool {
 func main() {
 	threshold := flag.Float64("threshold", 0.10,
 		"maximum tolerated ns/op or allocs/op regression on tracked benchmarks (fraction)")
-	track := flag.String("track", `^BenchmarkFigure5/|^BenchmarkPlanAll|^BenchmarkParallelEngine|^BenchmarkCoopRecovery|^BenchmarkFailover`,
+	track := flag.String("track", `^BenchmarkFigure5/|^BenchmarkPlanAll|^BenchmarkParallelEngine|^BenchmarkHierarchicalDomains|^BenchmarkCoopRecovery|^BenchmarkFailover`,
 		"regexp of benchmark names that gate the exit status")
 	minNs := flag.Float64("minns", 5e6,
 		"ns/op floor for wall-clock gating: cells faster than this only gate on allocs/op (few-iteration timings of small cells are scheduler noise)")

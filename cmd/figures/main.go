@@ -45,6 +45,8 @@ func main() {
 			"sweep worker count (1 = legacy serial loop; results are identical either way)")
 		simWorkers = flag.Int("simworkers", 0,
 			"with -fig scaling: add a serial-vs-sharded simulation phase per cell at this worker count (0 = off)")
+		domainSize = flag.Int("domainsize", 0,
+			"with -fig scaling: run the sharded half of the simulation phase in hierarchical-domain mode at about this many clients per domain (0 = classic sharding)")
 	)
 	flag.Parse()
 
@@ -186,6 +188,7 @@ func main() {
 		s := experiment.DefaultScaling()
 		s.BaseSeed = *seed
 		s.SimWorkers = *simWorkers
+		s.DomainClients = *domainSize
 		report, err := s.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "figures: %v\n", err)

@@ -61,6 +61,8 @@ func main() {
 			"worker count for multi-protocol runs (1 = serial; output is identical either way)")
 		simWorkers = flag.Int("simworkers", 0,
 			"shard a single run across this many workers (conservative parallel engine; 0/1 = serial, output is bit-identical either way; ineligible configs fall back to serial). With -scaling, adds a serial-vs-sharded simulation phase per cell")
+		domainSize = flag.Int("domainsize", 0,
+			"hierarchical-domain mode: partition the group into recovery domains of about this many clients, one engine per domain (requires -simworkers >= 2; the domain count never depends on the worker count, so output stays bit-identical). Also applies to -scaling's simulation phase")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
@@ -145,6 +147,7 @@ func main() {
 		sweep := experiment.DefaultScaling()
 		sweep.BaseSeed = *simSeed
 		sweep.SimWorkers = *simWorkers
+		sweep.DomainClients = *domainSize
 		if *sizes != "" {
 			sweep.Sizes = nil
 			for _, s := range strings.Split(*sizes, ",") {
@@ -242,7 +245,7 @@ func main() {
 		cfg := protocol.Config{
 			Packets: *packets, Interval: *interval,
 			Jitter: *jitter, LossyRecovery: *lossyRec,
-			SimWorkers: *simWorkers,
+			SimWorkers: *simWorkers, DomainClients: *domainSize,
 		}
 		if *gapDet {
 			cfg.Detection = protocol.DetectGap
@@ -302,8 +305,13 @@ func main() {
 	// path: say why, so a surprising lack of speed-up is explainable.
 	if *simWorkers >= 2 {
 		for i, p := range protos {
-			if res := results[i]; !res.Sharded && res.SerialReason != "" {
+			res := results[i]
+			if !res.Sharded && res.SerialReason != "" {
 				fmt.Fprintf(os.Stderr, "rmsim: %s ran serial: %s\n", p, res.SerialReason)
+			}
+			if res.Domains > 0 {
+				fmt.Fprintf(os.Stderr, "rmsim: %s ran in %d recovery domains (~%d clients each)\n",
+					p, res.Domains, *domainSize)
 			}
 		}
 	}

@@ -140,6 +140,31 @@ type Planner struct {
 	agg     *treeAgg
 	mode    fastMode
 	modeSet bool
+	mr      meetRouter
+	mrSet   bool
+}
+
+// meetRouter is implemented by routers that can answer an RTT query from the
+// endpoints' precomputed meet router alone (route.TreeTables.RTTVia). Every
+// candidate the batch planner builds carries its meet by construction, so on
+// such routers planning needs no LCA queries at all — the property that
+// keeps BuildLite trees (no O(1) LCA index) off the planning critical path.
+type meetRouter interface {
+	RTTVia(a, b, meet graph.NodeID) float64
+}
+
+// meetRTT returns RTT(u, v) given their meet router, using RTTVia when the
+// router offers it (bit-identical by contract) and the plain RTT query
+// otherwise.
+func (p *Planner) meetRTT(u, v, meet graph.NodeID) float64 {
+	if !p.mrSet {
+		p.mr, _ = p.Routes.(meetRouter)
+		p.mrSet = true
+	}
+	if p.mr != nil {
+		return p.mr.RTTVia(u, v, meet)
+	}
+	return p.Routes.RTT(u, v)
 }
 
 // NewPlanner returns a Planner with the default timeout policy and direct

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"rmcast/internal/graph"
+	"rmcast/internal/mtree"
+)
+
+// DomainAggregators elects one aggregator host per recovery domain of part:
+// the domain's client with the smallest (DelayFromRoot, NodeID) key — the
+// same Algorithm-1 class ranking core.Electorate reads at the tree root,
+// restricted to the domain's membership. The aggregator is the domain's
+// natural recovery hub (it is the client every Algorithm-1 strategy inside
+// the domain would rank first) and the deterministic handover target should
+// the domain's coordinator fail.
+//
+// The returned slice is indexed by domain; graph.None marks a domain with no
+// clients (possible when K exceeds the populated band count). One O(n) scan
+// over the client list — no per-domain aggregate needed, and no LCA — so it
+// runs in lite-tree mode at n=1,000,000. Tests pin agreement with an
+// Electorate whose candidates outside the domain have been withdrawn.
+func DomainAggregators(t *mtree.Tree, part *mtree.Partition) []graph.NodeID {
+	agg := make([]graph.NodeID, part.K)
+	for i := range agg {
+		agg[i] = graph.None
+	}
+	for _, c := range t.Clients {
+		d := part.ShardOf[c]
+		cur := agg[d]
+		if cur == graph.None {
+			agg[d] = c
+			continue
+		}
+		dc, db := t.DelayFromRoot[c], t.DelayFromRoot[cur]
+		if dc < db || (dc == db && c < cur) {
+			agg[d] = c
+		}
+	}
+	return agg
+}

@@ -116,11 +116,40 @@ func (p *Planner) PlanAllInto(out map[graph.NodeID]*Strategy) map[graph.NodeID]*
 	return out
 }
 
+// PlanAllDense is PlanAll into a dense slice indexed by client position in
+// Tree.Clients: no map, no per-lookup hashing. The million-client tier uses
+// it — at n=1,000,000 a strategy map costs hundreds of MB of buckets and its
+// iteration order forces a sort anywhere determinism matters, while the
+// dense form is one flat allocation in the tree's canonical client order.
+func (p *Planner) PlanAllDense() []*Strategy { return p.PlanAllDenseInto(nil) }
+
+// PlanAllDenseInto is PlanAllDense writing into a caller-retained slice
+// (len ≥ len(Tree.Clients)); entries are updated in place like PlanAllInto.
+// A nil slice behaves like PlanAllDense.
+func (p *Planner) PlanAllDenseInto(out []*Strategy) []*Strategy {
+	if out == nil {
+		out = make([]*Strategy, len(p.Tree.Clients))
+	}
+	p.batchState()
+	if p.mode != fastOff {
+		for i, u := range p.Tree.Clients {
+			out[i] = p.planOneTree(u, p.sc, out[i])
+		}
+		return out
+	}
+	for i, u := range p.Tree.Clients {
+		out[i] = p.planOne(u, p.sc, out[i])
+	}
+	return out
+}
+
 // candidateOf materialises the class-winner candidate for client u at meet
 // router meet. Both planning paths build candidates through this helper, so
-// the fast path's strategies carry bit-identical RTT/Timeout fields.
+// the fast path's strategies carry bit-identical RTT/Timeout fields. meet is
+// always LCA(u, v) at every call site — planOne computes it, planOneTree
+// reads it off the root path — so meetRTT may shortcut the route query.
 func (p *Planner) candidateOf(u, meet, v graph.NodeID, pol TimeoutPolicy) Candidate {
-	rtt := p.Routes.RTT(u, v)
+	rtt := p.meetRTT(u, v, meet)
 	return Candidate{
 		Peer:    v,
 		Meet:    meet,

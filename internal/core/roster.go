@@ -23,8 +23,12 @@ import (
 // handling near O(affected·N²) instead of O(k·N²). Tests verify the
 // incremental results equal full recomputation after arbitrary churn.
 type Roster struct {
-	p      *Planner
-	active map[graph.NodeID]bool
+	p *Planner
+	// active is the dense membership set, indexed by NodeID (the roster's
+	// churn unit is a tree client, so node-indexed beats a hash map: O(1)
+	// with no hashing, and iteration rides Tree.Clients in canonical order).
+	active      []bool
+	activeCount int
 	// strategies holds the current plan per active client.
 	strategies map[graph.NodeID]*Strategy
 	// winners[u] maps each meet router to u's current class winner, so
@@ -47,24 +51,27 @@ type Roster struct {
 func NewRoster(p *Planner) *Roster {
 	r := &Roster{
 		p:          p,
-		active:     make(map[graph.NodeID]bool),
+		active:     make([]bool, len(p.Tree.Parent)),
 		strategies: make(map[graph.NodeID]*Strategy),
 		winners:    make(map[graph.NodeID]map[graph.NodeID]Candidate),
 	}
 	for _, c := range p.Tree.Clients {
 		r.active[c] = true
+		r.activeCount++
 	}
 	if r.mode = p.computeFastMode(); r.mode != fastOff {
 		r.agg = newTreeAgg(p.Tree) // all clients active, matching r.active
 	}
-	for c := range r.active {
+	for _, c := range p.Tree.Clients {
 		r.replan(c)
 	}
 	return r
 }
 
 // Active reports whether a client is currently a group member.
-func (r *Roster) Active(c graph.NodeID) bool { return r.active[c] }
+func (r *Roster) Active(c graph.NodeID) bool {
+	return int(c) >= 0 && int(c) < len(r.active) && r.active[c]
+}
 
 // Strategy returns the current strategy of an active client (nil for
 // inactive or unknown nodes).
@@ -79,20 +86,12 @@ func (r *Roster) Recomputes() int { return r.recomputes }
 func (r *Roster) candidatesAmong(u graph.NodeID) map[graph.NodeID]Candidate {
 	pol := r.p.timeout()
 	best := make(map[graph.NodeID]Candidate)
-	for v := range r.active {
-		if v == u {
+	for _, v := range r.p.Tree.Clients {
+		if v == u || !r.active[v] {
 			continue
 		}
 		meet := r.p.Tree.LCA(u, v)
-		rtt := r.p.Routes.RTT(u, v)
-		cand := Candidate{
-			Peer:    v,
-			Meet:    meet,
-			DS:      r.p.Tree.Depth[meet],
-			RTT:     rtt,
-			Timeout: pol.Timeout(rtt),
-			Priv:    r.p.Tree.Depth[v] - r.p.Tree.Depth[meet],
-		}
+		cand := r.p.candidateOf(u, meet, v, pol)
 		cur, ok := best[meet]
 		if !ok {
 			best[meet] = cand
@@ -167,10 +166,11 @@ func (r *Roster) replan(u graph.NodeID) {
 // Leave removes a member and incrementally repairs the affected strategies.
 // It returns the clients whose strategies were recomputed.
 func (r *Roster) Leave(v graph.NodeID) ([]graph.NodeID, error) {
-	if !r.active[v] {
+	if !r.Active(v) {
 		return nil, fmt.Errorf("core: %d is not an active member", v)
 	}
-	delete(r.active, v)
+	r.active[v] = false
+	r.activeCount--
 	delete(r.strategies, v)
 	delete(r.winners, v)
 	if r.agg != nil {
@@ -197,25 +197,22 @@ func (r *Roster) Leave(v graph.NodeID) ([]graph.NodeID, error) {
 // v itself. It returns the clients whose strategies were recomputed
 // (excluding v).
 func (r *Roster) Join(v graph.NodeID) ([]graph.NodeID, error) {
-	if r.active[v] {
+	if r.Active(v) {
 		return nil, fmt.Errorf("core: %d is already active", v)
 	}
 	if !r.p.Tree.Net.IsClient(v) {
 		return nil, fmt.Errorf("core: %d is not a client of this tree", v)
 	}
 	r.active[v] = true
+	r.activeCount++
 	if r.agg != nil {
 		r.agg.setActive(v, true)
 	}
+	pol := r.p.timeout()
 	var affected []graph.NodeID
 	for u, classes := range r.winners {
 		meet := r.p.Tree.LCA(u, v)
-		rtt := r.p.Routes.RTT(u, v)
-		cand := Candidate{
-			Peer: v, Meet: meet, DS: r.p.Tree.Depth[meet],
-			RTT: rtt, Timeout: r.p.timeout().Timeout(rtt),
-			Priv: r.p.Tree.Depth[v] - r.p.Tree.Depth[meet],
-		}
+		cand := r.p.candidateOf(u, meet, v, pol)
 		cur, ok := classes[meet]
 		if !ok {
 			affected = append(affected, u)

@@ -29,12 +29,13 @@ func fullRecompute(p *Planner, active map[graph.NodeID]bool) map[graph.NodeID]*S
 	// directly via a throwaway roster's internals by filtering candidates.
 	tmp := &Roster{
 		p:          p,
-		active:     make(map[graph.NodeID]bool),
+		active:     make([]bool, len(p.Tree.Parent)),
 		strategies: make(map[graph.NodeID]*Strategy),
 		winners:    make(map[graph.NodeID]map[graph.NodeID]Candidate),
 	}
 	for c := range active {
 		tmp.active[c] = true
+		tmp.activeCount++
 	}
 	for c := range active {
 		tmp.replan(c)

@@ -44,7 +44,20 @@ type ScalingSweep struct {
 	SimWorkers int
 	// SimPackets sizes the simulation phase; 0 means 20.
 	SimPackets int
+	// DomainClients, when positive, runs the sharded half of the simulation
+	// phase in hierarchical-domain mode (protocol.Config.DomainClients): one
+	// engine per ~DomainClients-member recovery domain instead of the classic
+	// fixed shard count. This is the million-client execution mode; the
+	// digest-equality gate applies unchanged.
+	DomainClients int
 }
+
+// hugeClients is the size past which a cell switches to the memory-compact
+// representations: BuildLite trees (no Euler/sparse LCA index), dense
+// strategy slices instead of maps, oracle checking off, and a raised event
+// cap. Below it cells keep the exact historical path (map planning, strict
+// oracle), so existing tiers measure what they always measured.
+const hugeClients = 100_000
 
 // DefaultScaling returns the standard tier: n ∈ {1k, 5k, 20k, 50k}.
 func DefaultScaling() ScalingSweep {
@@ -93,11 +106,24 @@ type ScalingCell struct {
 	SimSpeedup    float64
 	// SimSharded reports that the parallel run was genuinely eligible for
 	// sharding (false means it fell back to serial, making the comparison
-	// vacuous).
-	SimSharded bool
+	// vacuous). SimSerialReason carries the engine's explanation when it
+	// fell back.
+	SimSharded      bool
+	SimSerialReason string
+	// SimDomains is the recovery-domain count of the sharded run (0 outside
+	// domain mode).
+	SimDomains int
 	// SimDigest is the shared digest of the two runs (they are required to
 	// be identical).
 	SimDigest string
+	// LiteTree reports the memory-compact cell path (BuildLite + dense
+	// strategies + oracle off) was used.
+	LiteTree bool
+	// PeakHeapMB is the largest live heap observed at the cell's phase
+	// boundaries (runtime.ReadMemStats HeapAlloc) — the number that decides
+	// whether a tier fits a deployment host. Sampled, not continuous: true
+	// transient peaks between samples can exceed it.
+	PeakHeapMB float64
 }
 
 // ScalingReport is the sweep result with the harness's usual renderings.
@@ -132,26 +158,47 @@ func allocsDuring(f func()) (time.Duration, uint64) {
 	return elapsed, after.Mallocs - before.Mallocs
 }
 
+// heapPeak tracks the largest live heap seen across its Sample calls.
+type heapPeak struct{ maxBytes uint64 }
+
+func (h *heapPeak) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > h.maxBytes {
+		h.maxBytes = ms.HeapAlloc
+	}
+}
+
+func (h *heapPeak) MB() float64 { return float64(h.maxBytes) / (1024 * 1024) }
+
 func (s ScalingSweep) runCell(n int, seed uint64, withScan bool) (ScalingCell, error) {
 	cfg := topology.DefaultTreeConfig(n)
 	if s.ClientsPerRouter > 0 {
 		cfg.ClientsPerRouter = s.ClientsPerRouter
 	}
+	huge := n > hugeClients
+	var peak heapPeak
 	buildStart := time.Now()
 	net, err := topology.GenerateTree(cfg, rng.New(seed))
 	if err != nil {
 		return ScalingCell{}, err
 	}
-	tree, err := mtree.Build(net)
+	build := mtree.Build
+	if huge {
+		build = mtree.BuildLite
+	}
+	tree, err := build(net)
 	if err != nil {
 		return ScalingCell{}, err
 	}
 	rt := route.NewTreeTables(tree)
 	cell := ScalingCell{
-		Clients: n,
-		Nodes:   net.NumNodes(),
-		BuildMs: float64(time.Since(buildStart)) / float64(time.Millisecond),
+		Clients:  n,
+		Nodes:    net.NumNodes(),
+		BuildMs:  float64(time.Since(buildStart)) / float64(time.Millisecond),
+		LiteTree: huge,
 	}
+	peak.Sample()
 	for _, d := range tree.Depth {
 		if d > cell.TreeDepth {
 			cell.TreeDepth = d
@@ -160,26 +207,45 @@ func (s ScalingSweep) runCell(n int, seed uint64, withScan bool) (ScalingCell, e
 
 	p := core.NewPlanner(tree, rt)
 	var strategies map[graph.NodeID]*core.Strategy
+	var dense []*core.Strategy
 	planTime, planAllocs := allocsDuring(func() {
-		strategies = p.PlanAll()
+		if huge {
+			dense = p.PlanAllDense()
+		} else {
+			strategies = p.PlanAll()
+		}
 	})
 	cell.PlanMs = float64(planTime) / float64(time.Millisecond)
 	cell.PlanAllocs = planAllocs
 	cell.FastPath = p.UsesFastPath()
+	peak.Sample()
 
 	replanTime, replanAllocs := allocsDuring(func() {
-		p.PlanAllInto(strategies)
+		if huge {
+			p.PlanAllDenseInto(dense)
+		} else {
+			p.PlanAllInto(strategies)
+		}
 	})
 	cell.ReplanMs = float64(replanTime) / float64(time.Millisecond)
 	cell.ReplanAllocs = replanAllocs
+	peak.Sample()
 
-	var peers int
-	for _, st := range strategies {
-		peers += len(st.Peers)
+	var peers, count int
+	if huge {
+		for _, st := range dense {
+			peers += len(st.Peers)
+		}
+		count = len(dense)
+	} else {
+		for _, st := range strategies {
+			peers += len(st.Peers)
+		}
+		count = len(strategies)
 	}
-	cell.MeanPeers = float64(peers) / float64(len(strategies))
+	cell.MeanPeers = float64(peers) / float64(count)
 
-	if withScan {
+	if withScan && !huge {
 		scan := core.NewPlanner(tree, rt)
 		scan.DisableFastPath = true
 		var scanned map[graph.NodeID]*core.Strategy
@@ -194,13 +260,16 @@ func (s ScalingSweep) runCell(n int, seed uint64, withScan bool) (ScalingCell, e
 			return cell, fmt.Errorf("fast path diverged from scan baseline")
 		}
 		cell.Verified = true
+		peak.Sample()
 	}
 
 	if s.SimWorkers >= 2 {
-		if err := s.simPhase(&cell, net, rt, seed); err != nil {
+		if err := s.simPhase(&cell, net, tree, rt, seed, huge, &peak); err != nil {
 			return cell, err
 		}
 	}
+	peak.Sample()
+	cell.PeakHeapMB = peak.MB()
 	return cell, nil
 }
 
@@ -208,35 +277,44 @@ func (s ScalingSweep) runCell(n int, seed uint64, withScan bool) (ScalingCell, e
 // packet simulation and records wall clocks plus the digest-equality check.
 // Any digest mismatch is an error, not a column: a sharded run that is not
 // byte-identical to its serial twin is wrong, whatever its speed.
-func (s ScalingSweep) simPhase(cell *ScalingCell, net *topology.Network, rt route.Router, seed uint64) error {
+func (s ScalingSweep) simPhase(cell *ScalingCell, net *topology.Network,
+	tree *mtree.Tree, rt route.Router, seed uint64, huge bool, peak *heapPeak) error {
 	packets := s.SimPackets
 	if packets == 0 {
 		packets = 20
 	}
-	run := func(workers int) (*protocol.Result, float64, bool, error) {
+	run := func(workers int) (*protocol.Result, float64, error) {
 		eng, err := NewEngine("RP")
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, err
 		}
-		cfg := protocol.Config{Packets: packets, Interval: 50, SimWorkers: workers}
-		sess, err := protocol.NewSessionWithRouter(net, eng, cfg, seed, rt)
+		cfg := protocol.Config{Packets: packets, Interval: 50, SimWorkers: workers,
+			DomainClients: s.DomainClients}
+		if huge {
+			// The strict oracle is O(clients × packets) bookkeeping per shard
+			// and the default event cap was sized for the classic tiers; the
+			// million tier turns the first off and raises the second.
+			cfg.Check = protocol.CheckOff
+			cfg.MaxEvents = 1_000_000_000
+		}
+		sess, err := protocol.NewSessionPrebuilt(net, tree, eng, cfg, seed, rt)
 		if err != nil {
-			return nil, 0, false, err
+			return nil, 0, err
 		}
-		sharded := workers >= 2 && sess.ParallelEligible()
 		start := time.Now()
 		res := sess.Run()
 		ms := float64(time.Since(start)) / float64(time.Millisecond)
+		peak.Sample()
 		if !res.Complete {
-			return nil, 0, false, fmt.Errorf("sim phase (workers=%d): incomplete run", workers)
+			return nil, 0, fmt.Errorf("sim phase (workers=%d): incomplete run", workers)
 		}
-		return res, ms, sharded, nil
+		return res, ms, nil
 	}
-	serial, serialMs, _, err := run(0)
+	serial, serialMs, err := run(0)
 	if err != nil {
 		return err
 	}
-	parallel, parallelMs, sharded, err := run(s.SimWorkers)
+	parallel, parallelMs, err := run(s.SimWorkers)
 	if err != nil {
 		return err
 	}
@@ -250,7 +328,9 @@ func (s ScalingSweep) simPhase(cell *ScalingCell, net *topology.Network, rt rout
 	if parallelMs > 0 {
 		cell.SimSpeedup = serialMs / parallelMs
 	}
-	cell.SimSharded = sharded
+	cell.SimSharded = parallel.Sharded
+	cell.SimSerialReason = parallel.SerialReason
+	cell.SimDomains = parallel.Domains
 	cell.SimDigest = sd
 	return nil
 }
@@ -258,34 +338,37 @@ func (s ScalingSweep) simPhase(cell *ScalingCell, net *topology.Network, rt rout
 // Format renders the report as an aligned table.
 func (r ScalingReport) Format(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "clients\tnodes\tdepth\tbuild(ms)\tplan(ms)\treplan(ms)\tscan(ms)\tspeedup\tplan allocs\treplan allocs\tpeers/client\tfast\tverified\tsim serial(ms)\tsim parallel(ms)\tsim speedup\tsharded")
+	fmt.Fprintln(tw, "clients\tnodes\tdepth\tbuild(ms)\tplan(ms)\treplan(ms)\tscan(ms)\tspeedup\tplan allocs\treplan allocs\tpeers/client\tfast\tverified\tsim serial(ms)\tsim parallel(ms)\tsim speedup\tsharded\tdomains\tpeak heap(MB)")
 	for _, c := range r {
 		scan, speedup := "-", "-"
 		if c.ScanMs > 0 {
 			scan = fmt.Sprintf("%.1f", c.ScanMs)
 			speedup = fmt.Sprintf("%.0f×", c.Speedup)
 		}
-		simSerial, simParallel, simSpeedup, sharded := "-", "-", "-", "-"
+		simSerial, simParallel, simSpeedup, sharded, domains := "-", "-", "-", "-", "-"
 		if c.SimSerialMs > 0 {
 			simSerial = fmt.Sprintf("%.1f", c.SimSerialMs)
 			simParallel = fmt.Sprintf("%.1f", c.SimParallelMs)
 			simSpeedup = fmt.Sprintf("%.2f×", c.SimSpeedup)
 			sharded = fmt.Sprintf("%v", c.SimSharded)
+			if c.SimDomains > 0 {
+				domains = strconv.Itoa(c.SimDomains)
+			}
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%s\t%s\t%d\t%d\t%.2f\t%v\t%v\t%s\t%s\t%s\t%s\n",
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\t%.2f\t%s\t%s\t%d\t%d\t%.2f\t%v\t%v\t%s\t%s\t%s\t%s\t%s\t%.0f\n",
 			c.Clients, c.Nodes, c.TreeDepth, c.BuildMs, c.PlanMs, c.ReplanMs,
 			scan, speedup, c.PlanAllocs, c.ReplanAllocs, c.MeanPeers, c.FastPath, c.Verified,
-			simSerial, simParallel, simSpeedup, sharded)
+			simSerial, simParallel, simSpeedup, sharded, domains, c.PeakHeapMB)
 	}
 	return tw.Flush()
 }
 
 // Markdown renders the report as a GitHub table for EXPERIMENTS.md.
 func (r ScalingReport) Markdown(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "| clients | nodes | depth | build (ms) | plan (ms) | replan (ms) | scan (ms) | speedup | replan allocs | sim serial (ms) | sim parallel (ms) | sim speedup |"); err != nil {
+	if _, err := fmt.Fprintln(w, "| clients | nodes | depth | build (ms) | plan (ms) | replan (ms) | scan (ms) | speedup | replan allocs | sim serial (ms) | sim parallel (ms) | sim speedup | domains | peak heap (MB) |"); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintln(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
+	if _, err := fmt.Fprintln(w, "|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|"); err != nil {
 		return err
 	}
 	for _, c := range r {
@@ -294,15 +377,19 @@ func (r ScalingReport) Markdown(w io.Writer) error {
 			scan = fmt.Sprintf("%.1f", c.ScanMs)
 			speedup = fmt.Sprintf("%.0f×", c.Speedup)
 		}
-		simSerial, simParallel, simSpeedup := "—", "—", "—"
+		simSerial, simParallel, simSpeedup, domains := "—", "—", "—", "—"
 		if c.SimSerialMs > 0 {
 			simSerial = fmt.Sprintf("%.1f", c.SimSerialMs)
 			simParallel = fmt.Sprintf("%.1f", c.SimParallelMs)
 			simSpeedup = fmt.Sprintf("%.2f×", c.SimSpeedup)
+			if c.SimDomains > 0 {
+				domains = strconv.Itoa(c.SimDomains)
+			}
 		}
-		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %.1f | %.2f | %.2f | %s | %s | %d | %s | %s | %s |\n",
+		if _, err := fmt.Fprintf(w, "| %d | %d | %d | %.1f | %.2f | %.2f | %s | %s | %d | %s | %s | %s | %s | %.0f |\n",
 			c.Clients, c.Nodes, c.TreeDepth, c.BuildMs, c.PlanMs, c.ReplanMs,
-			scan, speedup, c.ReplanAllocs, simSerial, simParallel, simSpeedup); err != nil {
+			scan, speedup, c.ReplanAllocs, simSerial, simParallel, simSpeedup,
+			domains, c.PeakHeapMB); err != nil {
 			return err
 		}
 	}
@@ -315,7 +402,8 @@ func (r ScalingReport) CSV(w io.Writer) error {
 	if err := cw.Write([]string{"clients", "nodes", "depth", "build_ms", "plan_ms",
 		"replan_ms", "scan_ms", "speedup", "plan_allocs", "replan_allocs",
 		"mean_peers", "fast_path", "verified",
-		"sim_serial_ms", "sim_parallel_ms", "sim_speedup", "sim_sharded", "sim_digest"}); err != nil {
+		"sim_serial_ms", "sim_parallel_ms", "sim_speedup", "sim_sharded", "sim_digest",
+		"sim_domains", "lite_tree", "peak_heap_mb"}); err != nil {
 		return err
 	}
 	for _, c := range r {
@@ -337,6 +425,9 @@ func (r ScalingReport) CSV(w io.Writer) error {
 			strconv.FormatFloat(c.SimSpeedup, 'f', 2, 64),
 			strconv.FormatBool(c.SimSharded),
 			c.SimDigest,
+			strconv.Itoa(c.SimDomains),
+			strconv.FormatBool(c.LiteTree),
+			strconv.FormatFloat(c.PeakHeapMB, 'f', 1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

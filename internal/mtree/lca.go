@@ -63,6 +63,26 @@ func (t *Tree) buildLCA() {
 	}
 }
 
+// lcaLift answers the LCA query in O(log n) from the lifting table alone —
+// the BuildLite path, where the Euler/sparse index is deliberately absent.
+// Ancestor tests use the O(1) tin/tout intervals, so no depth equalisation
+// is needed: lift a as high as possible while staying off b's ancestor
+// path; its parent is then the LCA.
+func (t *Tree) lcaLift(a, b graph.NodeID) graph.NodeID {
+	if t.IsAncestor(a, b) {
+		return a
+	}
+	if t.IsAncestor(b, a) {
+		return b
+	}
+	for k := len(t.up) - 1; k >= 0; k-- {
+		if u := t.up[k][a]; u != graph.None && !t.IsAncestor(u, b) {
+			a = u
+		}
+	}
+	return t.Parent[a]
+}
+
 // lcaRMQ answers the LCA query in O(1) from the sparse table. Both nodes
 // must be in the tree (LCA checks).
 func (t *Tree) lcaRMQ(a, b graph.NodeID) graph.NodeID {

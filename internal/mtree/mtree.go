@@ -65,7 +65,18 @@ type Tree struct {
 // Build constructs the rooted tree from net.TreeEdges. It fails if the tree
 // edges do not form a forest containing the source and every client in one
 // component (Network.Validate enforces the same invariant).
-func Build(net *topology.Network) (*Tree, error) {
+func Build(net *topology.Network) (*Tree, error) { return build(net, false) }
+
+// BuildLite is Build without the O(n log n) Euler-tour/sparse-table LCA
+// index (~90 B/node at depth 20+). LCA queries fall back to O(log n) binary
+// lifting; everything else — preorder, tin/tout ancestor tests, children,
+// delays, partitioning — is identical to Build. The million-client tier uses
+// it: at n=1,000,000 the index alone would cost ≈220 MB per tree, and the
+// dense planner's fast path never calls LCA (meet routers come off the root
+// path and RTTs are computed from root delays, see route.TreeTables.RTTVia).
+func BuildLite(net *topology.Network) (*Tree, error) { return build(net, true) }
+
+func build(net *topology.Network, lite bool) (*Tree, error) {
 	n := net.NumNodes()
 	t := &Tree{
 		Net:           net,
@@ -87,12 +98,29 @@ func Build(net *topology.Network) (*Tree, error) {
 		t.Depth[i] = -1
 	}
 
-	// Adjacency restricted to tree edges.
-	adj := make([][]graph.Half, n)
+	// Adjacency restricted to tree edges, in CSR form: one shared buffer
+	// instead of n slice headers and Θ(n) grow-reallocations. Per-node
+	// half-edge order is the order edges appear in TreeEdges — identical to
+	// the append-based build this replaced, so the DFS (and with it Order,
+	// tin/tout, the Euler tour, and every digest downstream) is unchanged.
+	off := make([]int32, n+1)
 	for _, id := range net.TreeEdges {
 		e := net.G.Edge(id)
-		adj[e.A] = append(adj[e.A], graph.Half{Edge: id, Peer: e.B})
-		adj[e.B] = append(adj[e.B], graph.Half{Edge: id, Peer: e.A})
+		off[e.A+1]++
+		off[e.B+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	adjBuf := make([]graph.Half, 2*len(net.TreeEdges))
+	cur := make([]int32, n)
+	copy(cur, off[:n])
+	for _, id := range net.TreeEdges {
+		e := net.G.Edge(id)
+		adjBuf[cur[e.A]] = graph.Half{Edge: id, Peer: e.B}
+		cur[e.A]++
+		adjBuf[cur[e.B]] = graph.Half{Edge: id, Peer: e.A}
+		cur[e.B]++
 	}
 
 	// Iterative preorder DFS from the root. DFS (not BFS) so tin/tout
@@ -101,19 +129,24 @@ func Build(net *topology.Network) (*Tree, error) {
 	t.InTree[t.Root] = true
 	type frame struct {
 		node graph.NodeID
-		next int
+		next int32
 	}
-	stack := []frame{{t.Root, 0}}
+	t.Order = make([]graph.NodeID, 0, n)
+	if !lite {
+		t.euler = make([]graph.NodeID, 0, 2*n-1)
+		t.euler = append(t.euler, t.Root)
+	}
+	stack := make([]frame, 1, 64)
+	stack[0] = frame{t.Root, 0}
 	var clock int32
 	t.tin[t.Root] = clock
 	clock++
 	t.Order = append(t.Order, t.Root)
-	t.euler = append(t.euler, t.Root)
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
 		u := f.node
-		if f.next < len(adj[u]) {
-			h := adj[u][f.next]
+		if off[u]+f.next < off[u+1] {
+			h := adjBuf[off[u]+f.next]
 			f.next++
 			v := h.Peer
 			if t.InTree[v] {
@@ -124,19 +157,19 @@ func Build(net *topology.Network) (*Tree, error) {
 			t.ParentLink[v] = h.Edge
 			t.Depth[v] = t.Depth[u] + 1
 			t.DelayFromRoot[v] = t.DelayFromRoot[u] + net.Delay[h.Edge]
-			t.Children[u] = append(t.Children[u], v)
-			t.ChildLink[u] = append(t.ChildLink[u], h.Edge)
 			t.Order = append(t.Order, v)
 			t.tin[v] = clock
 			clock++
 			stack = append(stack, frame{v, 0})
-			t.euler = append(t.euler, v)
+			if !lite {
+				t.euler = append(t.euler, v)
+			}
 			continue
 		}
 		t.tout[u] = clock
 		clock++
 		stack = stack[:len(stack)-1]
-		if len(stack) > 0 {
+		if !lite && len(stack) > 0 {
 			t.euler = append(t.euler, stack[len(stack)-1].node)
 		}
 	}
@@ -147,9 +180,46 @@ func Build(net *topology.Network) (*Tree, error) {
 		}
 	}
 
+	t.buildChildren(off[:n+1])
 	t.buildLifting()
-	t.buildLCA()
+	if !lite {
+		t.buildLCA()
+	}
 	return t, nil
+}
+
+// buildChildren fills Children/ChildLink as sub-slices of two shared CSR
+// buffers (reusing off as scratch). Children of u are appended in preorder
+// over t.Order, which is exactly their DFS visit order — the same per-node
+// order the old inline appends produced. Childless nodes keep nil slices.
+func (t *Tree) buildChildren(off []int32) {
+	n := len(t.Parent)
+	for i := range off {
+		off[i] = 0
+	}
+	for _, v := range t.Order {
+		if p := t.Parent[v]; p != graph.None {
+			off[p+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	childBuf := make([]graph.NodeID, len(t.Order)-1)
+	linkBuf := make([]graph.EdgeID, len(t.Order)-1)
+	for u := 0; u < n; u++ {
+		if off[u] == off[u+1] {
+			continue
+		}
+		t.Children[u] = childBuf[off[u]:off[u]:off[u+1]]
+		t.ChildLink[u] = linkBuf[off[u]:off[u]:off[u+1]]
+	}
+	for _, v := range t.Order {
+		if p := t.Parent[v]; p != graph.None {
+			t.Children[p] = append(t.Children[p], v)
+			t.ChildLink[p] = append(t.ChildLink[p], t.ParentLink[v])
+		}
+	}
 }
 
 // MustBuild is Build that panics on error.
@@ -215,10 +285,14 @@ func (t *Tree) Ancestor(v graph.NodeID, k int32) graph.NodeID {
 // LCA returns the lowest common ancestor of a and b — the paper's "first
 // common router" of two clients (§3.2) when both are group members. It
 // panics if either node is off-tree. Queries are O(1) via the Euler-tour
-// sparse table (see lca.go); the planner issues O(k²) of them per topology.
+// sparse table (see lca.go) on a Build tree, O(log n) via binary lifting on
+// a BuildLite tree.
 func (t *Tree) LCA(a, b graph.NodeID) graph.NodeID {
 	if !t.InTree[a] || !t.InTree[b] {
 		panic(fmt.Sprintf("mtree: LCA of off-tree node (%d,%d)", a, b))
+	}
+	if t.sparse == nil {
+		return t.lcaLift(a, b)
 	}
 	return t.lcaRMQ(a, b)
 }
@@ -314,11 +388,23 @@ func (t *Tree) NumTreeNodes() int { return len(t.Order) }
 func (t *Tree) NumTreeEdges() int { return len(t.Order) - 1 }
 
 // ChildToward returns the child of ancestor anc on the tree path toward
-// descendant v. It panics if anc is not a proper ancestor of v.
+// descendant v. It panics if anc is not a proper ancestor of v. Children
+// are stored in preorder, so the child whose subtree contains v is the last
+// one with tin ≤ tin[v] — a binary search over the child list, O(log deg)
+// instead of the O(log n) ancestor jump it replaced.
 func (t *Tree) ChildToward(anc, v graph.NodeID) graph.NodeID {
 	if anc == v || !t.IsAncestor(anc, v) {
 		panic(fmt.Sprintf("mtree: %d is not a proper ancestor of %d", anc, v))
 	}
-	diff := t.Depth[v] - t.Depth[anc] - 1
-	return t.Ancestor(v, diff)
+	kids := t.Children[anc]
+	lo, hi := 0, len(kids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.tin[kids[mid]] <= t.tin[v] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return kids[lo-1]
 }

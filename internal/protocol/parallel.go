@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 
 	"rmcast/internal/check"
+	"rmcast/internal/core"
 	"rmcast/internal/fault"
 	"rmcast/internal/graph"
 	"rmcast/internal/metrics"
@@ -148,6 +149,22 @@ func (s *Session) planParallel() (ShardCloner, *mtree.Partition, string) {
 	if cloner == nil {
 		return nil, nil, reason
 	}
+	if s.cfg.DomainClients > 0 {
+		// Hierarchical-domain mode: the domain count is ⌈clients/DomainClients⌉
+		// — a pure function of the tree and the domain size, never of the
+		// worker count, so domain runs keep the worker-invariance property of
+		// the classic partition.
+		part := mtree.PartitionDomains(s.Tree, s.cfg.DomainClients)
+		if part.K < 2 {
+			return nil, nil, fmt.Sprintf(
+				"domain mode: group fits a single domain (%d clients ≤ %d per domain)",
+				len(s.Topo.Clients), s.cfg.DomainClients)
+		}
+		if part.Lookahead <= 0 || math.IsInf(part.Lookahead, 1) {
+			return nil, nil, "domain mode: degenerate domain partition (no usable lookahead)"
+		}
+		return cloner, part, ""
+	}
 	part := mtree.PartitionTree(s.Tree, shardCount(len(s.Topo.Clients)))
 	if part.K < 2 || part.Lookahead <= 0 || math.IsInf(part.Lookahead, 1) {
 		return nil, nil, "degenerate tree partition (no usable lookahead)"
@@ -223,10 +240,14 @@ func (s *Session) runSharded() *Result {
 			s.cfg.Check == CheckStrict, sent)
 	}
 
+	// One tree adjacency (CSR) shared read-only by every shard's net: at a
+	// million clients the per-net copy would multiply the largest flooding
+	// structure by the domain count.
+	adj := sim.NewTreeAdjacency(s.Topo)
 	shards := make([]*shardRun, k)
 	for i := 0; i < k; i++ {
 		shards[i] = s.buildShard(int32(i), part, engines[i], hosts, sent,
-			netRand, shardRands[i], faultState)
+			netRand, shardRands[i], faultState, adj)
 	}
 
 	maxEvents := s.cfg.MaxEvents
@@ -302,19 +323,27 @@ func (s *Session) runSharded() *Result {
 			endTime = t
 		}
 	}
-	return s.mergeShards(shards, master, faultState, total, endTime, complete)
+	res := s.mergeShards(shards, master, faultState, total, endTime, complete)
+	if s.cfg.DomainClients > 0 {
+		// Execution metadata only — both fields are outside the result digest,
+		// so a domain run hashes identically to its serial twin.
+		res.Domains = k
+		res.Aggregators = core.DomainAggregators(s.Tree, part)
+	}
+	return res
 }
 
 // buildShard assembles one shard's engine, network, and sub-session, and
 // schedules the shard's slice of the send/detect program.
 func (s *Session) buildShard(id int32, part *mtree.Partition, engine Engine,
-	hosts, sent []bool, netRand, shardRand *rng.Rand, faultState *fault.State) *shardRun {
+	hosts, sent []bool, netRand, shardRand *rng.Rand, faultState *fault.State,
+	adj *sim.TreeAdjacency) *shardRun {
 	eng := sim.NewEngine()
 	r := shardRand
 	if id == 0 {
 		r = netRand
 	}
-	net := sim.NewNet(eng, s.Topo, s.Tree, s.Routes, r)
+	net := sim.NewNetShared(eng, s.Topo, s.Tree, s.Routes, r, adj)
 	net.EnableShard(id, part.ShardOf, hosts)
 	clients := len(s.Topo.Clients)
 	sub := &Session{
@@ -376,7 +405,10 @@ func (s *Session) buildShard(id int32, part *mtree.Partition, engine Engine,
 	}
 	// The shard's slice of the serial send/detect program, in the serial
 	// scheduling order (seq-major, then client) so same-instant events keep
-	// their serial relative order within the shard.
+	// their serial relative order within the shard. The detect program alone
+	// is Packets × owned events resident at once; reserving up front avoids
+	// the growth overshoot (up to 2× the steady calendar) per domain.
+	eng.Reserve(s.cfg.Packets * (len(sh.owned) + 2))
 	for seq := 0; seq < s.cfg.Packets; seq++ {
 		at := s.sentAt[seq]
 		if id == 0 {

@@ -164,6 +164,18 @@ type Config struct {
 	// engine without shard support) silently fall back to the serial path,
 	// so any worker count is always safe. 0 or 1 means serial.
 	SimWorkers int
+	// DomainClients, when positive and SimWorkers ≥ 2, switches the parallel
+	// engine to hierarchical-domain mode: the tree is partitioned into local
+	// recovery domains of about this many clients each
+	// (mtree.PartitionDomains) instead of the fixed small shard count, one
+	// engine per domain, cross-domain traffic merged through the same
+	// lookahead-window runner. The domain count is a pure function of
+	// (group size, DomainClients) — never of SimWorkers — so digests stay
+	// bit-identical at any worker count. This is the million-client tier's
+	// execution mode: per-domain state is O(n/K), so no single engine ever
+	// materialises the full group. Ineligible configurations fall back to
+	// serial with a "domain mode: …" SerialReason.
+	DomainClients int
 	// Check selects the runtime invariant oracle's mode (default: strict —
 	// see CheckMode). The oracle shadows the session's per-(client, seq)
 	// state machine event by event; it draws no randomness and never
@@ -335,6 +347,14 @@ type Result struct {
 	// users stop guessing why -simworkers made no difference.
 	Sharded      bool
 	SerialReason string
+	// Domains is the recovery-domain count of a hierarchical-domain run
+	// (Config.DomainClients; 0 for serial and classic sharded runs), and
+	// Aggregators its per-domain aggregator hosts — each domain's best
+	// Algorithm-1 candidate (core.DomainAggregators). Both are execution
+	// metadata, deliberately outside the result digest: a domain run must
+	// hash identically to its serial twin.
+	Domains     int
+	Aggregators []graph.NodeID
 	// Violations lists what the invariant oracle found (nil on a clean
 	// run): end-of-run liveness and conservation findings always, plus
 	// event-level safety findings under CheckRecord. The experiment
@@ -417,6 +437,15 @@ func NewSessionWithRouter(topo *topology.Network, engine Engine, cfg Config, see
 	if err != nil {
 		return nil, err
 	}
+	return NewSessionPrebuilt(topo, tree, engine, cfg, seed, routes)
+}
+
+// NewSessionPrebuilt is NewSessionWithRouter with a caller-supplied multicast
+// tree (mtree.Build or mtree.BuildLite over topo). The million-client tier
+// uses it to build one lite tree per topology and reuse it across sessions —
+// at n=1,000,000 the tree (and especially the full Build's O(n log n) LCA
+// index) dominates per-run setup cost and heap.
+func NewSessionPrebuilt(topo *topology.Network, tree *mtree.Tree, engine Engine, cfg Config, seed uint64, routes route.Router) (*Session, error) {
 	if cfg.Packets <= 0 || cfg.Interval <= 0 {
 		return nil, fmt.Errorf("protocol: bad config %+v", cfg)
 	}

@@ -40,6 +40,18 @@ func (t *TreeTables) RTT(a, b graph.NodeID) float64 {
 	return 2 * t.tree.TreeDelay(a, b)
 }
 
+// RTTVia is RTT(a, b) given the endpoints' already-known meet router (their
+// LCA): pure root-delay arithmetic, no LCA query at all. The expression is
+// the same float operation sequence as RTT∘TreeDelay, so the result is
+// bit-identical when meet really is LCA(a, b) — which the batch planner
+// guarantees by construction (every candidate's meet comes off the root
+// path). This is what lets million-client planning run on BuildLite trees,
+// where LCA costs O(log n) instead of O(1).
+func (t *TreeTables) RTTVia(a, b, meet graph.NodeID) float64 {
+	tr := t.tree
+	return 2 * (tr.DelayFromRoot[a] + tr.DelayFromRoot[b] - 2*tr.DelayFromRoot[meet])
+}
+
 // NextHop returns the next node and link from cur toward dest along the
 // tree path: up toward the root until cur is an ancestor of dest, then down
 // the branch containing dest. (None, NoEdge) when cur == dest or either

@@ -149,6 +149,19 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of scheduled, not-yet-fired events.
 func (e *Engine) Pending() int { return len(e.pq) }
 
+// Reserve grows the calendar's backing array to hold at least n pending
+// events without regrowth. The hierarchical tier calls it once per domain
+// engine — each domain's steady-state event population is predictable
+// (its clients' detect timers plus in-flight deliveries), so one up-front
+// allocation replaces the doubling cascade on every shard.
+func (e *Engine) Reserve(n int) {
+	if cap(e.pq) < n {
+		pq := make([]event, len(e.pq), n)
+		copy(pq, e.pq)
+		e.pq = pq
+	}
+}
+
 // push validates the timestamp, stamps the tie-break sequence, and sifts
 // the event into the 4-ary heap. Steady state (backing array at capacity)
 // allocates nothing.

@@ -120,14 +120,20 @@ type Net struct {
 	OnCrash   func(node graph.NodeID)
 	OnRecover func(node graph.NodeID)
 
-	r        *rng.Rand
+	r *rng.Rand
+	// handlers is the dense per-node handler table of serial nets, allocated
+	// lazily on first SetHandler. Sharded nets use hmap instead: a domain
+	// owns only ~n/K hosts, and K dense tables would cost K·n slots.
 	handlers []Handler
+	hmap     map[graph.NodeID]Handler
 	// mut is the message-plane mutator of the installed fault state (nil
 	// when none): control-plane deliveries route through deliverMutated,
 	// which may duplicate, delay, or corrupt them. Data is never mutated.
 	mut *fault.Mutator
 	// treeAdj is adjacency restricted to tree links, for flood traversal.
-	treeAdj [][]graph.Half
+	// It is immutable after construction and shared across every shard of a
+	// partitioned run (see TreeAdjacency).
+	treeAdj *TreeAdjacency
 
 	// Sharded-mode state (see shard.go; all nil/zero in serial runs).
 	// shardOf is the shared node→shard map of the partition, shardID this
@@ -167,29 +173,92 @@ type Symbol struct {
 	Index int32
 }
 
+// TreeAdjacency is the tree-link adjacency of a topology in CSR form: one
+// shared half-edge buffer plus per-node offsets, instead of a slice header
+// and separate allocation per node. It is immutable once built, so a
+// partitioned run builds it once and hands the same instance to every
+// domain's Net — at n=1,000,000 that turns K copies of a ~2.5M-entry
+// adjacency into one.
+type TreeAdjacency struct {
+	off []int32
+	buf []graph.Half
+}
+
+// NewTreeAdjacency builds the tree adjacency of topo. Per-node half-edge
+// order is TreeEdges order, matching the append-based layout it replaced.
+func NewTreeAdjacency(topo *topology.Network) *TreeAdjacency {
+	n := topo.NumNodes()
+	a := &TreeAdjacency{
+		off: make([]int32, n+1),
+		buf: make([]graph.Half, 2*len(topo.TreeEdges)),
+	}
+	for _, id := range topo.TreeEdges {
+		e := topo.G.Edge(id)
+		a.off[e.A+1]++
+		a.off[e.B+1]++
+	}
+	for i := 0; i < n; i++ {
+		a.off[i+1] += a.off[i]
+	}
+	cur := make([]int32, n)
+	copy(cur, a.off[:n])
+	for _, id := range topo.TreeEdges {
+		e := topo.G.Edge(id)
+		a.buf[cur[e.A]] = graph.Half{Edge: id, Peer: e.B}
+		cur[e.A]++
+		a.buf[cur[e.B]] = graph.Half{Edge: id, Peer: e.A}
+		cur[e.B]++
+	}
+	return a
+}
+
+// of returns node's tree half-edges.
+func (a *TreeAdjacency) of(node graph.NodeID) []graph.Half {
+	return a.buf[a.off[node]:a.off[node+1]]
+}
+
 // NewNet wires a network simulation over the given substrate. The rng
 // stream is owned by the Net afterwards (loss draws must not interleave
 // with other users).
 func NewNet(eng *Engine, topo *topology.Network, tree *mtree.Tree, routes route.Router, r *rng.Rand) *Net {
-	n := &Net{
-		Eng:      eng,
-		Topo:     topo,
-		Tree:     tree,
-		Routes:   routes,
-		r:        r,
-		handlers: make([]Handler, topo.NumNodes()),
-		treeAdj:  make([][]graph.Half, topo.NumNodes()),
+	return NewNetShared(eng, topo, tree, routes, r, NewTreeAdjacency(topo))
+}
+
+// NewNetShared is NewNet with a prebuilt tree adjacency, for partitioned
+// runs where every shard shares one immutable instance.
+func NewNetShared(eng *Engine, topo *topology.Network, tree *mtree.Tree, routes route.Router, r *rng.Rand, adj *TreeAdjacency) *Net {
+	return &Net{
+		Eng:     eng,
+		Topo:    topo,
+		Tree:    tree,
+		Routes:  routes,
+		r:       r,
+		treeAdj: adj,
 	}
-	for _, id := range topo.TreeEdges {
-		e := topo.G.Edge(id)
-		n.treeAdj[e.A] = append(n.treeAdj[e.A], graph.Half{Edge: id, Peer: e.B})
-		n.treeAdj[e.B] = append(n.treeAdj[e.B], graph.Half{Edge: id, Peer: e.A})
-	}
-	return n
 }
 
 // SetHandler registers the packet upcall for a host.
-func (n *Net) SetHandler(node graph.NodeID, h Handler) { n.handlers[node] = h }
+func (n *Net) SetHandler(node graph.NodeID, h Handler) {
+	if n.hmap != nil {
+		n.hmap[node] = h
+		return
+	}
+	if n.handlers == nil {
+		n.handlers = make([]Handler, n.Topo.NumNodes())
+	}
+	n.handlers[node] = h
+}
+
+// handlerOf returns node's handler, nil when none is registered.
+func (n *Net) handlerOf(node graph.NodeID) Handler {
+	if n.hmap != nil {
+		return n.hmap[node]
+	}
+	if n.handlers == nil {
+		return nil
+	}
+	return n.handlers[node]
+}
 
 // InstallFault attaches a failure-injection model and schedules its host
 // transitions as engine events, so the OnCrash/OnRecover hooks fire at the
@@ -253,7 +322,7 @@ func (n *Net) deliverAt(node graph.NodeID, at float64, pkt Packet) {
 			return
 		}
 	}
-	if n.handlers[node] == nil {
+	if n.handlerOf(node) == nil {
 		return
 	}
 	w := n.Eng.getWalker()
@@ -317,7 +386,7 @@ func (n *Net) upcall(node graph.NodeID, pkt Packet) {
 	if n.Fault != nil && !n.Fault.HostUpAt(node, n.Eng.Now()) {
 		return
 	}
-	if h := n.handlers[node]; h != nil {
+	if h := n.handlerOf(node); h != nil {
 		h(pkt)
 	}
 }
@@ -437,7 +506,7 @@ func (n *Net) floodFrom(cur, prev graph.NodeID, acc float64, pkt Packet) {
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, h := range n.treeAdj[f.node] {
+		for _, h := range n.treeAdj.of(f.node) {
 			if h.Peer == f.prev {
 				continue
 			}

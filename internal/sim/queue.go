@@ -157,7 +157,7 @@ func (n *Net) floodQueued(start graph.NodeID, fromLink graph.EdgeID, pkt Packet)
 // floodFanOut transmits pkt over every tree link at node except via,
 // scheduling one wFloodVisit walker per surviving transmission.
 func (n *Net) floodFanOut(node graph.NodeID, via graph.EdgeID, pkt Packet) {
-	for _, half := range n.treeAdj[node] {
+	for _, half := range n.treeAdj.of(node) {
 		if half.Edge == via {
 			continue
 		}

@@ -22,11 +22,17 @@ type RemoteDelivery struct {
 // EnableShard puts the net into sharded mode: this net simulates shard id of
 // the partition described by shardOf, and hosts marks every node (across all
 // shards) that has a handler somewhere. shardOf and hosts are shared
-// read-only across shards.
+// read-only across shards. Handler storage switches to a sparse map — a
+// shard owns only its own band's hosts, so a dense per-node table per shard
+// would cost K·n slots. Call before registering handlers.
 func (n *Net) EnableShard(id int32, shardOf []int32, hosts []bool) {
 	n.shardID = id
 	n.shardOf = shardOf
 	n.hostsShared = hosts
+	if n.handlers != nil {
+		panic("sim: EnableShard after SetHandler")
+	}
+	n.hmap = make(map[graph.NodeID]Handler)
 }
 
 // Outbox returns the cross-shard deliveries accumulated since the last
@@ -54,7 +60,7 @@ func (n *Net) hasHost(node graph.NodeID) bool {
 	if n.shardOf != nil {
 		return n.hostsShared[node]
 	}
-	return n.handlers[node] != nil
+	return n.handlerOf(node) != nil
 }
 
 // InstallFaultShared attaches a fault state shared by every shard of a

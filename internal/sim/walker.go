@@ -81,7 +81,7 @@ func (w *walker) run() {
 	case wDeliver:
 		node, pkt := w.node, w.pkt
 		n.Eng.putWalker(w)
-		if h := n.handlers[node]; h != nil {
+		if h := n.handlerOf(node); h != nil {
 			h(pkt)
 		}
 	case wUnicastStep:

@@ -1,0 +1,80 @@
+package topology
+
+import (
+	"fmt"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+)
+
+// TreeSink consumes a streamed tree-only topology, one node at a time.
+// StreamTree drives it in emission order — node IDs are assigned 0, 1, 2, …
+// as nodes are emitted, and every node's attachment point precedes it — so a
+// sink can build any representation incrementally without ever holding an
+// edge list: the edge accompanying node id is always edge id−1 (router 0,
+// the first node, has no edge and gets attach == graph.None).
+//
+// Attachment is the physical link, not the rooted-tree parent: the multicast
+// tree is rooted at the source host, which is emitted after the backbone it
+// hangs off, so a sink deriving parent pointers must flip the one edge
+// between the source and router 0 (the source becomes router 0's parent).
+type TreeSink interface {
+	// Begin is called once, before any node, with the validated config and
+	// the derived backbone size m; the total node count is m+1+cfg.Clients
+	// and the total link count is one less. Sinks use it to presize.
+	Begin(cfg TreeConfig, routers int)
+	// Node is called once per node: kind classifies it, attach is the node
+	// its single link connects to (graph.None only for router 0), and
+	// nominal/realised are that link's §5.1 delay pair. Per-link loss is
+	// uniform at cfg.LossProb (from Begin).
+	Node(id graph.NodeID, kind NodeKind, attach graph.NodeID, nominal, realised float64)
+}
+
+// StreamTree generates the scaling tier's tree topology (see GenerateTree)
+// as a stream of node emissions, never materialising the graph itself. The
+// rng draw sequence is exactly GenerateTree's — per backbone router an
+// attachment draw and the two delay draws, one realised-delay draw for the
+// source link, and per client an attachment draw plus a realised-delay draw
+// — so a materialising sink reproduces GenerateTree bit for bit (GenerateTree
+// is itself implemented as such a sink; tests pin the equivalence).
+func StreamTree(cfg TreeConfig, r *rng.Rand, sink TreeSink) error {
+	if cfg.Clients < 1 {
+		return fmt.Errorf("topology: need at least 1 client, got %d", cfg.Clients)
+	}
+	if cfg.ClientsPerRouter < 1 {
+		return fmt.Errorf("topology: clients per router %d below 1", cfg.ClientsPerRouter)
+	}
+	if cfg.DelayMin <= 0 || cfg.DelayMax < cfg.DelayMin {
+		return fmt.Errorf("topology: bad delay range [%v,%v]", cfg.DelayMin, cfg.DelayMax)
+	}
+	if cfg.AccessDelay <= 0 {
+		return fmt.Errorf("topology: non-positive access delay %v", cfg.AccessDelay)
+	}
+	if cfg.LossProb < 0 || cfg.LossProb > 1 {
+		return fmt.Errorf("topology: loss probability %v out of [0,1]", cfg.LossProb)
+	}
+
+	m := cfg.Clients / cfg.ClientsPerRouter
+	if m < 2 {
+		m = 2
+	}
+	sink.Begin(cfg, m)
+	sink.Node(0, Router, graph.None, 0, 0)
+	// Random recursive tree backbone: router i attaches to a uniform earlier
+	// router. Draw order per router matches GenerateTree's addLink call:
+	// attachment, nominal delay, realised delay.
+	for i := 1; i < m; i++ {
+		attach := graph.NodeID(r.Intn(i))
+		d := r.Uniform(cfg.DelayMin, cfg.DelayMax)
+		sink.Node(graph.NodeID(i), Router, attach, d, r.Uniform(d, 2*d))
+	}
+	// Source host at the backbone root.
+	d := cfg.AccessDelay
+	sink.Node(graph.NodeID(m), Source, 0, d, r.Uniform(d, 2*d))
+	// Client hosts on uniform routers.
+	for i := 0; i < cfg.Clients; i++ {
+		attach := graph.NodeID(r.Intn(m))
+		sink.Node(graph.NodeID(m+1+i), Client, attach, d, r.Uniform(d, 2*d))
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"testing"
+
+	"rmcast/internal/graph"
+	"rmcast/internal/rng"
+)
+
+// recordSink captures a StreamTree emission without building a graph,
+// modelling the compact consumers the streaming generator exists for.
+type recordSink struct {
+	cfg     TreeConfig
+	routers int
+	kind    []NodeKind
+	attach  []graph.NodeID
+	nominal []float64
+	real    []float64
+}
+
+func (s *recordSink) Begin(cfg TreeConfig, routers int) {
+	s.cfg, s.routers = cfg, routers
+}
+
+func (s *recordSink) Node(id graph.NodeID, kind NodeKind, attach graph.NodeID, nominal, realised float64) {
+	if int(id) != len(s.kind) {
+		panic("stream out of order")
+	}
+	s.kind = append(s.kind, kind)
+	s.attach = append(s.attach, attach)
+	s.nominal = append(s.nominal, nominal)
+	s.real = append(s.real, realised)
+}
+
+// TestStreamMatchesGenerateTree pins the streamed emission to the
+// materialised Network bit for bit: same node kinds, same single link per
+// node (edge id = node id − 1), same nominal and realised delays, same rng
+// consumption. This is the contract that lets compact sinks replace
+// GenerateTree at scale.
+func TestStreamMatchesGenerateTree(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 2053} {
+		cfg := DefaultTreeConfig(n)
+		seed := uint64(40 + n)
+
+		var rec recordSink
+		if err := StreamTree(cfg, rng.New(seed), &rec); err != nil {
+			t.Fatalf("n=%d: StreamTree: %v", n, err)
+		}
+		net, err := GenerateTree(cfg, rng.New(seed))
+		if err != nil {
+			t.Fatalf("n=%d: GenerateTree: %v", n, err)
+		}
+
+		if got, want := len(rec.kind), net.NumNodes(); got != want {
+			t.Fatalf("n=%d: streamed %d nodes, materialised %d", n, got, want)
+		}
+		if net.NumLinks() != len(rec.kind)-1 {
+			t.Fatalf("n=%d: %d links for %d nodes", n, net.NumLinks(), len(rec.kind))
+		}
+		for id := 0; id < net.NumNodes(); id++ {
+			if rec.kind[id] != net.Kind[id] {
+				t.Fatalf("n=%d node %d: kind %v != %v", n, id, rec.kind[id], net.Kind[id])
+			}
+			if id == 0 {
+				if rec.attach[0] != graph.None {
+					t.Fatalf("n=%d: router 0 has attach %d", n, rec.attach[0])
+				}
+				continue
+			}
+			e := net.G.Edge(graph.EdgeID(id - 1))
+			if e.A != graph.NodeID(id) || e.B != rec.attach[id] {
+				t.Fatalf("n=%d node %d: edge (%d,%d) != streamed (%d,%d)",
+					n, id, e.A, e.B, id, rec.attach[id])
+			}
+			if rec.nominal[id] != net.Nominal[id-1] || rec.real[id] != net.Delay[id-1] {
+				t.Fatalf("n=%d node %d: delays (%v,%v) != (%v,%v)",
+					n, id, rec.nominal[id], rec.real[id], net.Nominal[id-1], net.Delay[id-1])
+			}
+		}
+
+		// Both consumed identical rng state: the next draw must coincide.
+		ra, rb := rng.New(seed), rng.New(seed)
+		var rec2 recordSink
+		if err := StreamTree(cfg, ra, &rec2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := GenerateTree(cfg, rb); err != nil {
+			t.Fatal(err)
+		}
+		if ra.Float64() != rb.Float64() {
+			t.Fatalf("n=%d: rng streams diverge after generation", n)
+		}
+	}
+}
+
+// TestStreamRejectsBadConfig mirrors GenerateTree's validation.
+func TestStreamRejectsBadConfig(t *testing.T) {
+	bad := []TreeConfig{
+		{Clients: 0, ClientsPerRouter: 4, DelayMin: 1, DelayMax: 10, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 0, DelayMin: 1, DelayMax: 10, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 0, DelayMax: 10, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 5, DelayMax: 2, AccessDelay: 1},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 1, DelayMax: 10, AccessDelay: 0},
+		{Clients: 10, ClientsPerRouter: 4, DelayMin: 1, DelayMax: 10, AccessDelay: 1, LossProb: 1.5},
+	}
+	for i, cfg := range bad {
+		var rec recordSink
+		if err := StreamTree(cfg, rng.New(1), &rec); err == nil {
+			t.Errorf("case %d: StreamTree accepted invalid config %+v", i, cfg)
+		}
+		if _, err := GenerateTree(cfg, rng.New(1)); err == nil {
+			t.Errorf("case %d: GenerateTree accepted invalid config %+v", i, cfg)
+		}
+	}
+}

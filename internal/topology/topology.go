@@ -101,7 +101,12 @@ func (n *Network) SetUniformLoss(p float64) {
 // addLink appends a link with nominal delay d, sampling its realised delay
 // from U[d, 2d] using r, and returns its EdgeID.
 func (n *Network) addLink(a, b graph.NodeID, d float64, r *rng.Rand) graph.EdgeID {
-	realised := r.Uniform(d, 2*d)
+	return n.addLinkRealised(a, b, d, r.Uniform(d, 2*d))
+}
+
+// addLinkRealised appends a link whose realised delay was already drawn (the
+// streaming generator draws it before handing the node to its sink).
+func (n *Network) addLinkRealised(a, b graph.NodeID, d, realised float64) graph.EdgeID {
 	id := n.G.AddEdge(a, b, realised)
 	n.Nominal = append(n.Nominal, d)
 	n.Delay = append(n.Delay, realised)

@@ -1,8 +1,6 @@
 package topology
 
 import (
-	"fmt"
-
 	"rmcast/internal/graph"
 	"rmcast/internal/rng"
 )
@@ -43,54 +41,51 @@ func DefaultTreeConfig(clients int) TreeConfig {
 	}
 }
 
+// netSink materialises a StreamTree emission into a full Network. It is the
+// sink behind GenerateTree; bespoke sinks (compact tree builders, partition
+// planners) can consume the same stream without paying for the edge list.
+type netSink struct {
+	net *Network
+}
+
+func (s *netSink) Begin(cfg TreeConfig, routers int) {
+	total := routers + 1 + cfg.Clients
+	s.net.Kind = make([]NodeKind, 0, total)
+	s.net.Nominal = make([]float64, 0, total-1)
+	s.net.Delay = make([]float64, 0, total-1)
+	s.net.Loss = make([]float64, 0, total-1)
+	s.net.TreeEdges = make([]graph.EdgeID, 0, total-1)
+	s.net.Clients = make([]graph.NodeID, 0, cfg.Clients)
+}
+
+func (s *netSink) Node(id graph.NodeID, kind NodeKind, attach graph.NodeID, nominal, realised float64) {
+	nid := s.net.addNode(kind)
+	if nid != id {
+		panic("topology: stream emitted out of order")
+	}
+	switch kind {
+	case Source:
+		s.net.Source = nid
+	case Client:
+		s.net.Clients = append(s.net.Clients, nid)
+	}
+	if attach == graph.None {
+		return
+	}
+	eid := s.net.addLinkRealised(nid, attach, nominal, realised)
+	s.net.TreeEdges = append(s.net.TreeEdges, eid)
+}
+
 // GenerateTree builds a tree-only Network from cfg using the deterministic
 // stream r: a random recursive tree over the routers (router i attaches to
 // a uniform earlier router), the source host on router 0 (the tree root),
 // and each client host on a uniform router. The whole link set is the
-// multicast tree.
+// multicast tree. It is StreamTree feeding a materialising sink.
 func GenerateTree(cfg TreeConfig, r *rng.Rand) (*Network, error) {
-	if cfg.Clients < 1 {
-		return nil, fmt.Errorf("topology: need at least 1 client, got %d", cfg.Clients)
-	}
-	if cfg.ClientsPerRouter < 1 {
-		return nil, fmt.Errorf("topology: clients per router %d below 1", cfg.ClientsPerRouter)
-	}
-	if cfg.DelayMin <= 0 || cfg.DelayMax < cfg.DelayMin {
-		return nil, fmt.Errorf("topology: bad delay range [%v,%v]", cfg.DelayMin, cfg.DelayMax)
-	}
-	if cfg.AccessDelay <= 0 {
-		return nil, fmt.Errorf("topology: non-positive access delay %v", cfg.AccessDelay)
-	}
-	if cfg.LossProb < 0 || cfg.LossProb > 1 {
-		return nil, fmt.Errorf("topology: loss probability %v out of [0,1]", cfg.LossProb)
-	}
-
-	m := cfg.Clients / cfg.ClientsPerRouter
-	if m < 2 {
-		m = 2
-	}
 	net := &Network{G: graph.New(0)}
-	for i := 0; i < m; i++ {
-		net.addNode(Router)
+	if err := StreamTree(cfg, r, &netSink{net: net}); err != nil {
+		return nil, err
 	}
-	// Random recursive tree backbone: connected, m−1 links, depth Θ(log m).
-	for i := 1; i < m; i++ {
-		id := net.addLink(graph.NodeID(i), graph.NodeID(r.Intn(i)),
-			r.Uniform(cfg.DelayMin, cfg.DelayMax), r)
-		net.TreeEdges = append(net.TreeEdges, id)
-	}
-	// Source host at the backbone root.
-	src := net.addNode(Source)
-	net.Source = src
-	net.TreeEdges = append(net.TreeEdges, net.addLink(src, 0, cfg.AccessDelay, r))
-	// Client hosts on uniform routers (several per router at scale).
-	for i := 0; i < cfg.Clients; i++ {
-		c := net.addNode(Client)
-		net.TreeEdges = append(net.TreeEdges,
-			net.addLink(c, graph.NodeID(r.Intn(m)), cfg.AccessDelay, r))
-		net.Clients = append(net.Clients, c)
-	}
-
 	net.SetUniformLoss(cfg.LossProb)
 	if err := net.Validate(); err != nil {
 		return nil, err
