@@ -59,6 +59,7 @@ smoke-bench:
 	$(GO) run ./cmd/rmsim -scaling -sizes 1000 -simworkers 4 -domainsize 64
 	$(GO) run ./cmd/rmsim -churn -routers 40 -packets 15
 	$(GO) test -run xxx -bench 'BenchmarkFailover$$' -benchmem -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkStrategyService/readers=4/churn=2000$$' -benchmem -benchtime 1x ./internal/strategysvc
 
 # Wall-clock serial-vs-sharded capture for the conservative parallel engine:
 # every scaling cell runs one serial and one sharded RP simulation (digest

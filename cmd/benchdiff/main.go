@@ -17,6 +17,20 @@
 // default 5 ms/op): cells faster than that cannot be held to a 10% band
 // at a handful of iterations — scheduler noise between two captures
 // routinely exceeds it — so they gate on allocs/op only, which is exact.
+//
+// Two further rules serve the strategy-service cells:
+//
+//   - Tail-latency gating: cells reporting a p99-ns/op metric
+//     (BenchmarkStrategyService) gate on it with a wider band
+//     (-p99threshold, default 50%). A p99 of a ~50 ns wait-free read is
+//     scheduler-sensitive at the ±1-bucket level, but the regression this
+//     gate exists to catch — a lock or a retry loop on the read path — is
+//     a 10–100× blowup, far outside any noise band.
+//   - Alloc-gate skip (-allocskip): background-churn cells inherit the
+//     applier goroutine's replanning allocations at a nondeterministic
+//     phase, so their allocs/op is not comparable between captures; the
+//     churn-free twin cells carry the zero-alloc read-path contract
+//     instead.
 package main
 
 import (
@@ -44,6 +58,10 @@ var nsOnly = regexp.MustCompile(`^\s*\d+\t\s*([0-9.]+) ns/op`)
 // allocsPer matches the -benchmem allocation column on either line form.
 var allocsPer = regexp.MustCompile(`\s(\d+) allocs/op`)
 
+// p99Per matches the p99-ns/op custom metric the strategy-service
+// benchmark reports (either line form).
+var p99Per = regexp.MustCompile(`\s([0-9.]+) p99-ns/op`)
+
 // testEvent is the subset of the `go test -json` event stream we read.
 type testEvent struct {
 	Action string `json:"Action"`
@@ -52,11 +70,14 @@ type testEvent struct {
 }
 
 // result is one benchmark's captured metrics. Allocs is only meaningful
-// when HasAllocs is set (the capture ran with -benchmem).
+// when HasAllocs is set (the capture ran with -benchmem); P99 when HasP99
+// is set (the cell reports p99-ns/op).
 type result struct {
 	Ns        float64
 	Allocs    float64
 	HasAllocs bool
+	P99       float64
+	HasP99    bool
 }
 
 // parse extracts benchmark name → metrics from a capture file. A benchmark
@@ -105,6 +126,10 @@ func parse(path string) (map[string]result, error) {
 			fmt.Sscanf(m[1], "%g", &r.Allocs)
 			r.HasAllocs = true
 		}
+		if m := p99Per.FindStringSubmatch(ev.Output); m != nil {
+			fmt.Sscanf(m[1], "%g", &r.P99)
+			r.HasP99 = true
+		}
 		if prev, ok := res[name]; ok {
 			if prev.Ns < r.Ns {
 				r.Ns = prev.Ns
@@ -114,6 +139,14 @@ func parse(path string) (map[string]result, error) {
 					r.Allocs = prev.Allocs
 				}
 				r.HasAllocs = true
+			}
+			// Like ns/op, p99 keeps the minimum: contention from host
+			// noise only ever inflates the tail.
+			if prev.HasP99 {
+				if !r.HasP99 || prev.P99 < r.P99 {
+					r.P99 = prev.P99
+				}
+				r.HasP99 = true
 			}
 		}
 		res[name] = r
@@ -140,10 +173,14 @@ func allocsRegressed(old, new, threshold float64) bool {
 func main() {
 	threshold := flag.Float64("threshold", 0.10,
 		"maximum tolerated ns/op or allocs/op regression on tracked benchmarks (fraction)")
-	track := flag.String("track", `^BenchmarkFigure5/|^BenchmarkPlanAll|^BenchmarkParallelEngine|^BenchmarkHierarchicalDomains|^BenchmarkCoopRecovery|^BenchmarkFailover`,
+	track := flag.String("track", `^BenchmarkFigure5/|^BenchmarkPlanAll|^BenchmarkParallelEngine|^BenchmarkHierarchicalDomains|^BenchmarkCoopRecovery|^BenchmarkFailover|^BenchmarkStrategyService`,
 		"regexp of benchmark names that gate the exit status")
 	minNs := flag.Float64("minns", 5e6,
 		"ns/op floor for wall-clock gating: cells faster than this only gate on allocs/op (few-iteration timings of small cells are scheduler noise)")
+	p99Threshold := flag.Float64("p99threshold", 0.50,
+		"maximum tolerated p99-ns/op regression on tracked benchmarks (fraction; wide because a wait-free read's tail is bucket- and scheduler-quantised, while the failure mode this catches — a lock on the read path — is orders of magnitude)")
+	allocSkip := flag.String("allocskip", `^BenchmarkStrategyService/.*churn=[1-9]`,
+		"regexp of benchmark names whose allocs/op is nondeterministic (background-churn cells) and therefore not alloc-gated")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
@@ -152,6 +189,11 @@ func main() {
 	tracked, err := regexp.Compile(*track)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchdiff: bad -track: %v\n", err)
+		os.Exit(2)
+	}
+	allocSkipped, err := regexp.Compile(*allocSkip)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -allocskip: %v\n", err)
 		os.Exit(2)
 	}
 	oldRes, err := parse(flag.Arg(0))
@@ -173,21 +215,27 @@ func main() {
 
 	failed := false
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tstatus")
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\told p99\tnew p99\tstatus")
 	for _, name := range names {
 		nw := newRes[name]
-		newAllocs := "-"
+		newAllocs, newP99 := "-", "-"
 		if nw.HasAllocs {
 			newAllocs = fmt.Sprintf("%.0f", nw.Allocs)
 		}
+		if nw.HasP99 {
+			newP99 = fmt.Sprintf("%.0f", nw.P99)
+		}
 		old, ok := oldRes[name]
 		if !ok {
-			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\t%s\tnew\n", name, nw.Ns, newAllocs)
+			fmt.Fprintf(tw, "%s\t-\t%.0f\t-\t-\t%s\t-\t%s\tnew\n", name, nw.Ns, newAllocs, newP99)
 			continue
 		}
-		oldAllocs := "-"
+		oldAllocs, oldP99 := "-", "-"
 		if old.HasAllocs {
 			oldAllocs = fmt.Sprintf("%.0f", old.Allocs)
+		}
+		if old.HasP99 {
+			oldP99 = fmt.Sprintf("%.0f", old.P99)
 		}
 		delta := (nw.Ns - old.Ns) / old.Ns
 		status := "untracked"
@@ -197,17 +245,22 @@ func main() {
 				status = "REGRESSION"
 				failed = true
 			}
-			if old.HasAllocs && nw.HasAllocs && allocsRegressed(old.Allocs, nw.Allocs, *threshold) {
+			if old.HasAllocs && nw.HasAllocs && !allocSkipped.MatchString(name) &&
+				allocsRegressed(old.Allocs, nw.Allocs, *threshold) {
 				status = "REGRESSION(allocs)"
 				failed = true
 			}
+			if old.HasP99 && nw.HasP99 && old.P99 > 0 && (nw.P99-old.P99)/old.P99 > *p99Threshold {
+				status = "REGRESSION(p99)"
+				failed = true
+			}
 		}
-		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\t%s\n",
-			name, old.Ns, nw.Ns, 100*delta, oldAllocs, newAllocs, status)
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%+.1f%%\t%s\t%s\t%s\t%s\t%s\n",
+			name, old.Ns, nw.Ns, 100*delta, oldAllocs, newAllocs, oldP99, newP99, status)
 	}
 	for name := range oldRes {
 		if _, ok := newRes[name]; !ok {
-			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t-\t-\tremoved\n", name, oldRes[name].Ns)
+			fmt.Fprintf(tw, "%s\t%.0f\t-\t-\t-\t-\t-\t-\tremoved\n", name, oldRes[name].Ns)
 		}
 	}
 	tw.Flush()

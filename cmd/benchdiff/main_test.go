@@ -40,6 +40,33 @@ not json at all
 	}
 }
 
+func TestParseReadsP99(t *testing.T) {
+	capture := `{"Action":"output","Test":"","Output":"BenchmarkStrategyService/readers=4/churn=0-8  3  106.5 ns/op  0 batch-mean  40.00 p50-ns/op  56.00 p99-ns/op  9385687 qps  0 B/op  0 allocs/op\n"}
+{"Action":"output","Test":"BenchmarkStrategyService/readers=4/churn=0","Output":"  3\t 98.2 ns/op\t 0 batch-mean\t 40.00 p50-ns/op\t 40.00 p99-ns/op\t 10183299 qps\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Test":"","Output":"BenchmarkFigure5/n=50/SRM-8  30  5614447 ns/op  120 B/op  7 allocs/op\n"}
+`
+	res, err := parse(writeCapture(t, "cap.json", capture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, ok := res["BenchmarkStrategyService/readers=4/churn=0"]
+	if !ok || !svc.HasP99 {
+		t.Fatalf("service cell parsed as %+v (present=%v)", svc, ok)
+	}
+	// Min across repeated samples, for p99 and ns alike.
+	if svc.P99 != 40 || svc.Ns != 98.2 {
+		t.Fatalf("expected min p99=40/ns=98.2, got %+v", svc)
+	}
+	// The p50-ns/op column must not be mistaken for the p99 metric.
+	if svc.P99 == 40 && svc.Allocs != 0 {
+		t.Fatalf("allocs misparsed: %+v", svc)
+	}
+	// Cells without the metric stay p99-less.
+	if srm := res["BenchmarkFigure5/n=50/SRM"]; srm.HasP99 {
+		t.Fatalf("figure cell grew a p99: %+v", srm)
+	}
+}
+
 func TestAllocsRegressed(t *testing.T) {
 	cases := []struct {
 		old, new float64

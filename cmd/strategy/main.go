@@ -8,6 +8,13 @@
 //	strategy -routers 50 -seed 7            # all clients, summary lines
 //	strategy -routers 50 -seed 7 -client 0  # one client, full detail
 //	strategy -verify                        # add brute-force optimality check
+//	strategy -stress -readers 4 -churnrate 2000 -duration 3s
+//
+// The summary listing is served from a strategysvc snapshot and prints its
+// version/epoch header, so output is correlatable with what concurrent
+// readers of the service would observe. -stress runs the readers × churn
+// workload against the service and reports throughput, latency quantiles,
+// and the applier's batching counters.
 package main
 
 import (
@@ -17,12 +24,14 @@ import (
 	"math"
 	"os"
 	"sort"
+	"time"
 
 	"rmcast/internal/core"
 	"rmcast/internal/graph"
 	"rmcast/internal/mtree"
 	"rmcast/internal/rng"
 	"rmcast/internal/route"
+	"rmcast/internal/strategysvc"
 	"rmcast/internal/topology"
 	"rmcast/internal/viz"
 )
@@ -37,8 +46,17 @@ func main() {
 		beta     = flag.Float64("beta", 3, "timeout factor (t0 = beta·rtt)")
 		asJSON   = flag.Bool("json", false, "emit all strategies as JSON and exit")
 		svgOut   = flag.String("svg", "", "with -client: write the strategy graph as SVG to this file")
+		stress   = flag.Bool("stress", false, "run the strategy-service stress workload and exit")
+		readers  = flag.Int("readers", 4, "with -stress: concurrent reader goroutines")
+		churn    = flag.Int("churnrate", 2000, "with -stress: Join/Leave churn ops per second (0: none)")
+		duration = flag.Duration("duration", 3*time.Second, "with -stress: run length")
 	)
 	flag.Parse()
+
+	if *stress {
+		runStress(*routers, *seed, *beta, !*noDirect, *readers, *churn, *duration)
+		return
+	}
 
 	topo, err := topology.Generate(topology.DefaultConfig(*routers), rng.New(*seed))
 	if err != nil {
@@ -85,15 +103,54 @@ func main() {
 		return
 	}
 
+	// Serve the summary from a strategysvc snapshot so the listing carries
+	// the version/epoch a concurrent reader of the service would see.
+	svc := strategysvc.New(p, strategysvc.Config{})
+	defer svc.Close()
+	snap := svc.Snapshot()
+	fmt.Printf("plan snapshot: version %d, epoch %d, members %d\n",
+		snap.Version, snap.Epoch, snap.ActiveCount())
 	clients := append([]graph.NodeID(nil), topo.Clients...)
 	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
 	for _, u := range clients {
-		st := p.StrategyFor(u)
+		st := snap.Get(u)
 		fmt.Println(st)
 		if *verify {
 			checkOptimal(p, u, st)
 		}
 	}
+}
+
+// runStress drives the readers × churn workload and prints the measured
+// numbers. It builds a pure-tree topology with tree-metric routing — the
+// configuration the service's applier is designed around (churn repaired by
+// the O(depth) tree-aggregate, not a full scan) and the same one the
+// BenchmarkStrategyService grid measures, so the two sets of numbers are
+// comparable. Chorded scan-mode topologies still work through the service
+// (covered by its tests); they just bottleneck on replanning, which is a
+// planner property, not a service one.
+func runStress(routers int, seed uint64, beta float64, allowDirect bool, readers, churnRate int, d time.Duration) {
+	net := topology.MustGenerateTree(topology.DefaultTreeConfig(routers), rng.New(seed))
+	tree := mtree.MustBuild(net)
+	p := core.NewPlanner(tree, route.NewTreeTables(tree))
+	p.Timeout = core.ProportionalTimeout(beta)
+	p.AllowDirectSource = allowDirect
+	fmt.Printf("topology: %d routers (pure tree), %d clients, tree depth max %d\n",
+		routers, len(tree.Clients), maxDepth(tree))
+
+	svc := strategysvc.New(p, strategysvc.Config{})
+	defer svc.Close()
+	fmt.Printf("stress: %d readers, %d churn ops/sec, %v\n", readers, churnRate, d)
+	res := strategysvc.Stress(svc, tree.Clients, readers, churnRate, d)
+	qps := float64(res.Queries) / res.Elapsed.Seconds()
+	fmt.Printf("queries: %d in %.2fs  (%.0f queries/sec)\n",
+		res.Queries, res.Elapsed.Seconds(), qps)
+	fmt.Printf("latency: p50 %.0fns  p99 %.0fns\n", res.P50, res.P99)
+	st := res.Stats
+	fmt.Printf("versions published: %d  (final version %d, epoch %d)\n",
+		st.Published, res.Version, res.Epoch)
+	fmt.Printf("churn: %d applied, %d rejected in %d batches  (mean batch %.2f, max %d)\n",
+		st.Applied, st.Rejected, st.Batches, st.MeanBatch(), st.MaxBatch)
 }
 
 func detail(p *core.Planner, tree *mtree.Tree, u graph.NodeID, verify bool) {

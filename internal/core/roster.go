@@ -36,6 +36,12 @@ type Roster struct {
 	winners map[graph.NodeID]map[graph.NodeID]Candidate
 	// recomputes counts strategy recomputations (observability/testing).
 	recomputes int
+	// epoch counts successfully applied membership changes since
+	// construction. It is the roster's logical clock: two rosters that
+	// applied the same churn sequence agree on it, and snapshot publishers
+	// stamp it next to their own version so service output is correlatable
+	// with plan state.
+	epoch uint64
 	// agg, when non-nil, is a membership-tracking tree aggregate (see
 	// treeagg.go): each replan then reads its candidates off the client's
 	// root path in O(depth) instead of scanning every active member, and a
@@ -49,21 +55,41 @@ type Roster struct {
 // NewRoster creates a roster over the planner's full client set, all
 // initially active.
 func NewRoster(p *Planner) *Roster {
+	return NewRosterActive(p, p.Tree.Clients)
+}
+
+// NewRosterActive creates a roster whose initial membership is the given
+// client subset. NewRosterActive(p, p.Tree.Clients) ≡ NewRoster(p); the
+// strategy service uses the subset form as its full-replan fallback — a
+// fresh roster over the current active set is the ground truth the
+// incremental churn path must match. Construction is O(k·depth) on
+// fast-mode planners (one aggregate build plus one replan per member), not
+// O(k·depth) per *excluded* member: the aggregate is built directly from
+// the subset rather than by leaving members one at a time.
+func NewRosterActive(p *Planner, members []graph.NodeID) *Roster {
 	r := &Roster{
 		p:          p,
 		active:     make([]bool, len(p.Tree.Parent)),
 		strategies: make(map[graph.NodeID]*Strategy),
 		winners:    make(map[graph.NodeID]map[graph.NodeID]Candidate),
 	}
-	for _, c := range p.Tree.Clients {
+	for _, c := range members {
+		if !p.Tree.Net.IsClient(c) {
+			panic(fmt.Sprintf("core: roster member %d is not a client", c))
+		}
+		if r.active[c] {
+			continue
+		}
 		r.active[c] = true
 		r.activeCount++
 	}
 	if r.mode = p.computeFastMode(); r.mode != fastOff {
-		r.agg = newTreeAgg(p.Tree) // all clients active, matching r.active
+		r.agg = newTreeAggActive(p.Tree, r.active)
 	}
 	for _, c := range p.Tree.Clients {
-		r.replan(c)
+		if r.active[c] {
+			r.replan(c)
+		}
 	}
 	return r
 }
@@ -171,6 +197,7 @@ func (r *Roster) Leave(v graph.NodeID) ([]graph.NodeID, error) {
 	}
 	r.active[v] = false
 	r.activeCount--
+	r.epoch++
 	delete(r.strategies, v)
 	delete(r.winners, v)
 	if r.agg != nil {
@@ -205,6 +232,7 @@ func (r *Roster) Join(v graph.NodeID) ([]graph.NodeID, error) {
 	}
 	r.active[v] = true
 	r.activeCount++
+	r.epoch++
 	if r.agg != nil {
 		r.agg.setActive(v, true)
 	}
@@ -231,5 +259,70 @@ func (r *Roster) Join(v graph.NodeID) ([]graph.NodeID, error) {
 	return affected, nil
 }
 
-// Strategies returns the current strategy map (shared; do not mutate).
-func (r *Roster) Strategies() map[graph.NodeID]*Strategy { return r.strategies }
+// Strategies returns a copy of the current strategy map: the map is fresh
+// on every call, so later Join/Leave churn cannot mutate it under a caller
+// that snapshots it. The *Strategy values are shared but immutable — replan
+// always builds a new Strategy rather than updating the old one in place
+// (the property snapshot immutability tests pin down). Callers that want
+// the live view — incremental replans visible without re-copying — use
+// StrategiesLive.
+func (r *Roster) Strategies() map[graph.NodeID]*Strategy {
+	out := make(map[graph.NodeID]*Strategy, len(r.strategies))
+	for c, s := range r.strategies {
+		out[c] = s
+	}
+	return out
+}
+
+// StrategiesLive returns the roster's internal strategy map. It ALIASES
+// live state: Join/Leave mutate it in place, which is exactly what the
+// resilient RP engine wants (its failure detector replans into the roster
+// at run time and reads strategies through one long-held map). Do not
+// publish it across goroutines; snapshotters use Strategies or
+// StrategiesDense instead.
+func (r *Roster) StrategiesLive() map[graph.NodeID]*Strategy { return r.strategies }
+
+// StrategiesDense writes the active clients' strategies into a dense slice
+// indexed by client position in Tree.Clients — the same canonical layout as
+// Planner.PlanAllDense — with nil at inactive positions. out is reused when
+// large enough (len ≥ len(Tree.Clients)); nil allocates. Snapshot
+// publishers pass a fresh slice per publish so old snapshots stay frozen.
+func (r *Roster) StrategiesDense(out []*Strategy) []*Strategy {
+	clients := r.p.Tree.Clients
+	if len(out) < len(clients) {
+		out = make([]*Strategy, len(clients))
+	} else {
+		out = out[:len(clients)]
+	}
+	for i, c := range clients {
+		if r.active[c] {
+			out[i] = r.strategies[c]
+		} else {
+			out[i] = nil
+		}
+	}
+	return out
+}
+
+// OccupancyDense writes the membership flags in the same dense
+// client-position layout as StrategiesDense. out is reused when large
+// enough; nil allocates.
+func (r *Roster) OccupancyDense(out []bool) []bool {
+	clients := r.p.Tree.Clients
+	if len(out) < len(clients) {
+		out = make([]bool, len(clients))
+	} else {
+		out = out[:len(clients)]
+	}
+	for i, c := range clients {
+		out[i] = r.active[c]
+	}
+	return out
+}
+
+// ActiveCount returns the number of current members.
+func (r *Roster) ActiveCount() int { return r.activeCount }
+
+// Epoch returns the number of successfully applied membership changes since
+// construction (0 for a fresh roster). Strictly monotonic under churn.
+func (r *Roster) Epoch() uint64 { return r.epoch }

@@ -195,6 +195,140 @@ func BenchmarkRosterChurn(b *testing.B) {
 	}
 }
 
+// TestRosterStrategiesSnapshotSafe is the aliasing regression test:
+// Strategies() must return a map later churn cannot mutate, and the
+// *Strategy values captured in it must stay byte-stable while the roster
+// replans (replan builds new Strategy structs, never updates in place).
+func TestRosterStrategiesSnapshotSafe(t *testing.T) {
+	p := rosterPlanner(t, 60, 9)
+	r := NewRoster(p)
+	snap := r.Strategies()
+	frozen := make(map[graph.NodeID]Strategy, len(snap))
+	for c, s := range snap {
+		cp := *s
+		cp.Peers = append([]Candidate(nil), s.Peers...)
+		frozen[c] = cp
+	}
+	clients := append([]graph.NodeID(nil), p.Tree.Clients...)
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	if _, err := r.Leave(clients[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Leave(clients[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join(clients[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != len(frozen) {
+		t.Fatalf("snapshot map size changed under churn: %d != %d", len(snap), len(frozen))
+	}
+	for c, want := range frozen {
+		got, ok := snap[c]
+		if !ok {
+			t.Fatalf("snapshot lost client %d under churn", c)
+		}
+		if got.Client != want.Client || got.ExpectedDelay != want.ExpectedDelay ||
+			len(got.Peers) != len(want.Peers) {
+			t.Fatalf("client %d: snapshot strategy mutated under churn", c)
+		}
+		for i := range got.Peers {
+			if got.Peers[i] != want.Peers[i] {
+				t.Fatalf("client %d: snapshot peer %d mutated under churn", c, i)
+			}
+		}
+	}
+	// The live view, by contrast, must reflect churn.
+	if _, ok := r.StrategiesLive()[clients[1]]; ok {
+		t.Fatal("live map still holds a departed member")
+	}
+}
+
+// TestNewRosterActiveMatchesChurn pins the full-replan fallback: a roster
+// built directly over a subset must equal a full roster driven to the same
+// membership by Leave calls.
+func TestNewRosterActiveMatchesChurn(t *testing.T) {
+	p := rosterPlanner(t, 80, 10)
+	r := NewRoster(p)
+	clients := append([]graph.NodeID(nil), p.Tree.Clients...)
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	var members []graph.NodeID
+	for i, c := range clients {
+		if i%3 == 0 {
+			if _, err := r.Leave(c); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			members = append(members, c)
+		}
+	}
+	fresh := NewRosterActive(p, members)
+	sameStrategies(t, fresh.Strategies(), r.Strategies())
+	if fresh.ActiveCount() != r.ActiveCount() {
+		t.Fatalf("active count %d != %d", fresh.ActiveCount(), r.ActiveCount())
+	}
+	if fresh.Epoch() != 0 {
+		t.Fatalf("fresh roster epoch %d != 0", fresh.Epoch())
+	}
+}
+
+// TestRosterEpochAndDense covers the epoch clock and the dense accessors'
+// canonical client-position layout.
+func TestRosterEpochAndDense(t *testing.T) {
+	p := rosterPlanner(t, 50, 11)
+	r := NewRoster(p)
+	if r.Epoch() != 0 {
+		t.Fatalf("initial epoch %d != 0", r.Epoch())
+	}
+	c := p.Tree.Clients[0]
+	if _, err := r.Leave(c); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("epoch after leave %d != 1", r.Epoch())
+	}
+	if _, err := r.Leave(c); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if r.Epoch() != 1 {
+		t.Fatalf("rejected op advanced the epoch: %d", r.Epoch())
+	}
+	if _, err := r.Join(c); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch after join %d != 2", r.Epoch())
+	}
+
+	if _, err := r.Leave(c); err != nil {
+		t.Fatal(err)
+	}
+	dense := r.StrategiesDense(nil)
+	occ := r.OccupancyDense(nil)
+	if len(dense) != len(p.Tree.Clients) || len(occ) != len(dense) {
+		t.Fatalf("dense lengths %d/%d != %d", len(dense), len(occ), len(p.Tree.Clients))
+	}
+	live := r.StrategiesLive()
+	for i, u := range p.Tree.Clients {
+		if occ[i] != r.Active(u) {
+			t.Fatalf("occupancy[%d] disagrees with Active(%d)", i, u)
+		}
+		if !occ[i] {
+			if dense[i] != nil {
+				t.Fatalf("inactive position %d holds a strategy", i)
+			}
+			continue
+		}
+		if dense[i] != live[u] {
+			t.Fatalf("dense[%d] is not client %d's strategy", i, u)
+		}
+	}
+	// Reuse path: a large-enough slice is written in place, not reallocated.
+	if again := r.StrategiesDense(dense); &again[0] != &dense[0] {
+		t.Fatal("StrategiesDense reallocated a sufficient slice")
+	}
+}
+
 func TestRosterLoneMemberGoesToSource(t *testing.T) {
 	p := rosterPlanner(t, 30, 7)
 	r := NewRoster(p)

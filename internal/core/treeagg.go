@@ -79,7 +79,13 @@ type treeAgg struct {
 }
 
 // newTreeAgg builds the aggregate with every tree client active.
-func newTreeAgg(t *mtree.Tree) *treeAgg {
+func newTreeAgg(t *mtree.Tree) *treeAgg { return newTreeAggActive(t, nil) }
+
+// newTreeAggActive builds the aggregate over a membership subset given as a
+// node-indexed flag slice (nil means every tree client). The subset is
+// copied, and building directly from it costs one bottom-up pass — the same
+// as the full build — rather than one O(depth) repair per excluded member.
+func newTreeAggActive(t *mtree.Tree, active []bool) *treeAgg {
 	n := len(t.Depth)
 	a := &treeAgg{
 		tree:     t,
@@ -97,7 +103,7 @@ func newTreeAgg(t *mtree.Tree) *treeAgg {
 		}
 	}
 	for _, c := range t.Clients {
-		a.active[c] = true
+		a.active[c] = active == nil || active[c]
 	}
 	// Order is a preorder, so its reverse visits children before parents.
 	for i := len(t.Order) - 1; i >= 0; i-- {

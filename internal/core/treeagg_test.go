@@ -296,6 +296,9 @@ func TestRosterChurnTreeAggMatchesScan(t *testing.T) {
 			if !reflect.DeepEqual(r.Strategies(), rScan.Strategies()) {
 				t.Fatalf("%s step %d: aggregate roster diverged from scan roster", variant, step)
 			}
+			if r.Epoch() != rScan.Epoch() {
+				t.Fatalf("%s step %d: epochs diverged (%d vs %d)", variant, step, r.Epoch(), rScan.Epoch())
+			}
 			// Incrementally-updated aggregate == aggregate rebuilt from the
 			// current active set.
 			fresh := newTreeAgg(tree)
@@ -306,6 +309,22 @@ func TestRosterChurnTreeAggMatchesScan(t *testing.T) {
 			}
 			if !reflect.DeepEqual(r.agg.byKey, fresh.byKey) || !reflect.DeepEqual(r.agg.byPeer, fresh.byPeer) {
 				t.Fatalf("%s step %d: incremental aggregate != full rebuild", variant, step)
+			}
+			// Incrementally-churned roster == roster rebuilt from scratch
+			// over the current membership (the strategy service's
+			// full-replan fallback), compared in the dense snapshot layout.
+			var members []graph.NodeID
+			for _, c := range tree.Clients {
+				if r.Active(c) {
+					members = append(members, c)
+				}
+			}
+			rebuilt := NewRosterActive(p, members)
+			if !reflect.DeepEqual(r.StrategiesDense(nil), rebuilt.StrategiesDense(nil)) {
+				t.Fatalf("%s step %d: incremental roster != full replan", variant, step)
+			}
+			if !reflect.DeepEqual(r.OccupancyDense(nil), rebuilt.OccupancyDense(nil)) {
+				t.Fatalf("%s step %d: occupancy diverged from full replan", variant, step)
 			}
 		}
 	}

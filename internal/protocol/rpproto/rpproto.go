@@ -93,8 +93,8 @@ type Engine struct {
 	served *protocol.DedupCache
 
 	// Resilience state (see resilient.go). roster is non-nil only when
-	// Resilience.Enabled; strategies then aliases roster.Strategies(), so
-	// incremental replans are visible without re-wiring.
+	// Resilience.Enabled; strategies then aliases roster.StrategiesLive(),
+	// so incremental replans are visible without re-wiring.
 	roster       *core.Roster
 	suspectCount map[obs]int
 	skipUntil    map[obs]float64
@@ -221,7 +221,7 @@ func (e *Engine) Attach(s *protocol.Session) {
 	}
 	if e.opt.Resilience.Enabled {
 		e.roster = core.NewRoster(p)
-		e.strategies = e.roster.Strategies()
+		e.strategies = e.roster.StrategiesLive()
 	} else {
 		// PlanAllInto reuses the map and Strategy structs if the engine
 		// is ever attached again (e.strategies is nil on first attach).

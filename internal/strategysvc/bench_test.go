@@ -1,0 +1,134 @@
+package strategysvc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rmcast/internal/core"
+	"rmcast/internal/mtree"
+	"rmcast/internal/rng"
+	"rmcast/internal/route"
+	"rmcast/internal/topology"
+)
+
+// BenchmarkStrategyService drives the readers × churn-rate grid the
+// benchdiff gate tracks. Reported metrics per cell:
+//
+//   - ns/op (overridden): mean wall time per query across all readers —
+//     the service's aggregate query throughput (qps = 1e9/ns-op · note the
+//     host is time-slicing readers on however many cores it has);
+//   - p50-ns/op, p99-ns/op: per-query latency quantiles from 16 ns-bucket
+//     histograms, where the timed window is one Get plus one monotonic
+//     clock read (~tens of ns of clock overhead, identical across
+//     captures, so regressions in Get still move the quantiles);
+//   - allocs/op: per reader-block iteration. The read path is
+//     allocation-free, so churn=0 cells must report 0 — that is the
+//     steady-state decay gate. Cells with background churn inherit the
+//     applier's replanning allocations at a nondeterministic phase, so
+//     benchdiff skips the alloc gate for them (-allocskip) and gates their
+//     latency only.
+//
+// Reader goroutines are long-lived and fed per-iteration through unbuffered
+// channels: one b.N iteration = every reader answering queriesPerIter
+// queries. That keeps goroutine spawning out of the timed loop and makes
+// the per-iteration block big enough (readers × 32768 queries) for stable
+// quantiles even at `-benchtime 3x` (the bench-json capture mode).
+func BenchmarkStrategyService(b *testing.B) {
+	for _, readers := range []int{1, 4} {
+		for _, churn := range []int{0, 2000, 20000} {
+			b.Run(fmt.Sprintf("readers=%d/churn=%d", readers, churn), func(b *testing.B) {
+				benchService(b, readers, churn)
+			})
+		}
+	}
+}
+
+const queriesPerIter = 1 << 15
+
+func benchService(b *testing.B, readers, churnRate int) {
+	net := topology.MustGenerateTree(topology.DefaultTreeConfig(512), rng.New(17))
+	tree := mtree.MustBuild(net)
+	p := core.NewPlanner(tree, route.NewTreeTables(tree))
+	svc := New(p, Config{})
+	defer svc.Close()
+	clients := tree.Clients
+
+	stopChurn := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if churnRate > 0 {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			DriveChurn(svc, clients, churnRate, stopChurn)
+		}()
+	}
+
+	hists := make([]Hist, readers)
+	start := make([]chan struct{}, readers)
+	done := make(chan struct{}, readers)
+	var quit sync.Once
+	stopReaders := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		start[g] = make(chan struct{})
+		readerWG.Add(1)
+		go func(h *Hist, kick chan struct{}, seed uint64) {
+			defer readerWG.Done()
+			r := rng.New(seed)
+			for {
+				select {
+				case <-kick:
+				case <-stopReaders:
+					return
+				}
+				var nils int64
+				for q := 0; q < queriesPerIter; q++ {
+					c := clients[r.Intn(len(clients))]
+					t0 := time.Now()
+					st := svc.Get(c)
+					h.Record(time.Since(t0).Nanoseconds())
+					if st == nil {
+						nils++ // sink: keeps Get from being elided
+					}
+				}
+				benchSink.Add(nils)
+				done <- struct{}{}
+			}
+		}(&hists[g], start[g], uint64(g)+41)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < readers; g++ {
+			start[g] <- struct{}{}
+		}
+		for g := 0; g < readers; g++ {
+			<-done
+		}
+	}
+	b.StopTimer()
+	quit.Do(func() { close(stopReaders) })
+	readerWG.Wait()
+	close(stopChurn)
+	churnWG.Wait()
+
+	var merged Hist
+	for i := range hists {
+		merged.Merge(&hists[i])
+	}
+	total := float64(b.N) * float64(readers) * queriesPerIter
+	nsPerQuery := float64(b.Elapsed().Nanoseconds()) / total
+	b.ReportMetric(nsPerQuery, "ns/op")
+	b.ReportMetric(1e9/nsPerQuery, "qps")
+	b.ReportMetric(merged.Quantile(0.50), "p50-ns/op")
+	b.ReportMetric(merged.Quantile(0.99), "p99-ns/op")
+	st := svc.Stats()
+	b.ReportMetric(float64(st.Published), "versions")
+	b.ReportMetric(st.MeanBatch(), "batch-mean")
+}
+
+var benchSink atomic.Int64

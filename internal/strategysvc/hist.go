@@ -1,0 +1,75 @@
+package strategysvc
+
+// Hist is a fixed-size latency histogram for the query-latency harnesses
+// (BenchmarkStrategyService and the cmd/strategy stress mode): linear
+// 16 ns buckets up to ~16 µs with a single overflow bucket that tracks its
+// own maximum. Recording is allocation-free and unsynchronised — give each
+// reader goroutine its own Hist and Merge them afterwards. The value form
+// embeds the bucket array, so a []Hist is one flat allocation; the leading
+// and trailing pads keep adjacent readers' hot counters off each other's
+// cache lines.
+type Hist struct {
+	_       [8]uint64
+	buckets [histBuckets]uint64
+	// over counts samples past the linear range; overMax is the largest
+	// such sample in nanoseconds.
+	over    uint64
+	overMax uint64
+	total   uint64
+	_       [8]uint64
+}
+
+const (
+	histShift   = 4 // 16 ns per bucket
+	histBuckets = 1024
+)
+
+// Record adds one sample, in nanoseconds.
+func (h *Hist) Record(ns int64) {
+	h.total++
+	i := uint64(ns) >> histShift
+	if i < histBuckets {
+		h.buckets[i]++
+		return
+	}
+	h.over++
+	if uint64(ns) > h.overMax {
+		h.overMax = uint64(ns)
+	}
+}
+
+// Merge folds other into h.
+func (h *Hist) Merge(other *Hist) {
+	for i := range h.buckets {
+		h.buckets[i] += other.buckets[i]
+	}
+	h.over += other.over
+	if other.overMax > h.overMax {
+		h.overMax = other.overMax
+	}
+	h.total += other.total
+}
+
+// Total returns the number of recorded samples.
+func (h *Hist) Total() uint64 { return h.total }
+
+// Quantile returns the q-quantile (q in [0,1]) in nanoseconds, resolved to
+// the bucket midpoint; quantiles falling in the overflow range return the
+// overflow maximum. Returns 0 on an empty histogram.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	if target < 1 {
+		target = 1
+	}
+	var seen float64
+	for i, c := range h.buckets {
+		seen += float64(c)
+		if seen >= target {
+			return float64(i<<histShift) + float64(1<<histShift)/2
+		}
+	}
+	return float64(h.overMax)
+}
